@@ -1,0 +1,68 @@
+"""E10 (Equation (1)): the per-phase decomposition of the second phase.
+
+Paper claim: each Boruvka phase over the base forest costs
+O(D + k + n/k) rounds, the number of coarse fragments at least halves
+every phase, and there are at most O(log n) phases, giving the overall
+O((D + sqrt(n)) log n) round bound.  We instrument one run per family and
+report the per-phase telemetry.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.elkin_mst import compute_mst
+from repro.graphs import graph_summary, grid_graph, hub_path_graph, random_connected_graph
+from repro.verify.mst_checks import verify_mst_result
+
+
+def test_e10_phase_decomposition(benchmark, record):
+    instances = [
+        ("random n=320", random_connected_graph(320, seed=181)),
+        ("grid 16x20", grid_graph(16, 20, seed=182)),
+        ("hub+path n=320", hub_path_graph(320)),
+    ]
+
+    def run():
+        rows = []
+        for label, graph in instances:
+            summary = graph_summary(graph)
+            result = compute_mst(graph)
+            verify_mst_result(graph, result)
+            k = result.details["k"]
+            per_phase_bound = 40 * (summary.hop_diameter + k + summary.n / k) + 40
+            for phase in result.phases:
+                rows.append(
+                    {
+                        "graph": label,
+                        "phase": phase.phase,
+                        "fragments before": phase.fragments_before,
+                        "fragments after": phase.fragments_after,
+                        "rounds": phase.rounds,
+                        "phase round bound": round(per_phase_bound),
+                        "messages": phase.messages,
+                        "halved": phase.fragments_after <= (phase.fragments_before + 1) // 2,
+                    }
+                )
+            rows.append(
+                {
+                    "graph": label,
+                    "phase": "total",
+                    "fragments before": result.details["base_fragment_count"],
+                    "fragments after": 1,
+                    "rounds": result.rounds,
+                    "messages": result.messages,
+                    "halved": True,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record("E10: per-phase decomposition (Equation (1))", rows)
+    phase_rows = [row for row in rows if row["phase"] != "total"]
+    assert all(row["halved"] for row in phase_rows)
+    assert all(row["rounds"] <= row["phase round bound"] for row in phase_rows)
+    # O(log n) phases per instance.
+    for label in {row["graph"] for row in phase_rows}:
+        count = sum(1 for row in phase_rows if row["graph"] == label)
+        assert count <= 10

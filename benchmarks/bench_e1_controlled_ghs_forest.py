@@ -1,0 +1,50 @@
+"""E1 (Theorem 4.3, structure): Controlled-GHS returns an (n/k, O(k))-MST forest.
+
+Paper claim: for any k, the base-forest construction produces at most
+O(n/k) fragments, each of strong diameter O(k), and every fragment is a
+subtree of the MST.  We sweep k over several graph families and report
+the measured fragment count and maximum diameter next to the bounds
+(constants 4 and 12, from Lemmas 4.1/4.2).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.controlled_ghs import build_base_forest
+from repro.graphs import grid_graph, path_graph, random_connected_graph
+from repro.simulator.network import SyncNetwork
+from repro.verify.forest_checks import ALPHA_CONSTANT, BETA_CONSTANT, assert_alpha_beta_forest
+
+
+def test_e1_forest_shape(benchmark, record):
+    instances = [
+        ("random n=200", random_connected_graph(200, seed=101)),
+        ("grid 12x16", grid_graph(12, 16, seed=102)),
+        ("path n=180", path_graph(180, seed=103)),
+    ]
+    ks = [4, 8, 16, 32]
+
+    def run():
+        rows = []
+        for label, graph in instances:
+            for k in ks:
+                network = SyncNetwork(graph)
+                result = build_base_forest(network, k)
+                assert_alpha_beta_forest(graph, result.forest, k)
+                rows.append(
+                    {
+                        "graph": label,
+                        "k": k,
+                        "fragments": result.forest.count,
+                        "fragment bound": round(max(1, ALPHA_CONSTANT * graph.number_of_nodes() / k)),
+                        "max diameter": result.forest.max_diameter(),
+                        "diameter bound": round(BETA_CONSTANT * k),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record("E1: (n/k, O(k))-MST forest structure (Theorem 4.3)", rows)
+    assert all(row["fragments"] <= row["fragment bound"] for row in rows)
+    assert all(row["max diameter"] <= row["diameter bound"] for row in rows)

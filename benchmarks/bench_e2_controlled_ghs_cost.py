@@ -1,0 +1,66 @@
+"""E2 (Theorem 4.3, cost): Controlled-GHS runs in O(k log* n) rounds and
+O(m log k + n log k log* n) messages.
+
+Paper claim: the base-forest construction time grows (near-)linearly in k
+and its message count grows only logarithmically in k.  We sweep k on a
+fixed graph and n at fixed k and report measured/bound ratios.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.bounds import controlled_ghs_message_bound, controlled_ghs_time_bound
+from repro.core.controlled_ghs import build_base_forest
+from repro.graphs import random_connected_graph
+from repro.simulator.network import SyncNetwork
+
+
+def test_e2_cost_scaling(benchmark, record):
+    def run():
+        rows = []
+        # Sweep k at fixed n.
+        graph = random_connected_graph(240, seed=111)
+        n, m = graph.number_of_nodes(), graph.number_of_edges()
+        for k in (4, 8, 16, 32):
+            network = SyncNetwork(graph)
+            result = build_base_forest(network, k)
+            rows.append(
+                {
+                    "sweep": "k",
+                    "n": n,
+                    "k": k,
+                    "rounds": result.cost.rounds,
+                    "round bound": round(controlled_ghs_time_bound(n, k)),
+                    "messages": result.cost.messages,
+                    "message bound": round(controlled_ghs_message_bound(n, m, k)),
+                }
+            )
+        # Sweep n at fixed k.
+        for n in (80, 160, 320):
+            graph = random_connected_graph(n, seed=112)
+            m = graph.number_of_edges()
+            network = SyncNetwork(graph)
+            result = build_base_forest(network, 8)
+            rows.append(
+                {
+                    "sweep": "n",
+                    "n": n,
+                    "k": 8,
+                    "rounds": result.cost.rounds,
+                    "round bound": round(controlled_ghs_time_bound(n, 8)),
+                    "messages": result.cost.messages,
+                    "message bound": round(controlled_ghs_message_bound(n, m, 8)),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record("E2: Controlled-GHS cost (Theorem 4.3)", rows)
+    assert all(row["rounds"] <= row["round bound"] for row in rows)
+    assert all(row["messages"] <= row["message bound"] for row in rows)
+    # Round counts grow with k (linearly up to constants); message counts
+    # must grow much slower than linearly in k (log k).
+    k_rows = [row for row in rows if row["sweep"] == "k"]
+    assert k_rows[-1]["rounds"] > k_rows[0]["rounds"]
+    assert k_rows[-1]["messages"] < 4 * k_rows[0]["messages"]

@@ -1,0 +1,52 @@
+"""E3 (Theorem 3.1, time): O((D + sqrt(n)) log n) rounds on low-diameter graphs.
+
+Paper claim: on graphs with small hop-diameter the running time is
+sublinear in n -- it scales like sqrt(n) log n.  We sweep n on sparse
+random connected graphs (D = O(log n)), check the theorem bound for every
+instance, and fit the measured power law: the exponent must be well below
+1 (a linear-time algorithm would show exponent ~1).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.bounds import elkin_time_bound_formula
+from repro.analysis.fitting import fit_power_law
+from repro.core.elkin_mst import compute_mst
+from repro.graphs import graph_summary, random_connected_graph
+from repro.verify.mst_checks import verify_mst_result
+
+
+def test_e3_round_scaling(benchmark, record):
+    sizes = (64, 128, 256, 512)
+
+    def run():
+        rows = []
+        for n in sizes:
+            graph = random_connected_graph(n, seed=120 + n)
+            summary = graph_summary(graph)
+            result = compute_mst(graph)
+            verify_mst_result(graph, result)
+            bound = elkin_time_bound_formula(n, summary.hop_diameter)
+            rows.append(
+                {
+                    "n": n,
+                    "m": summary.m,
+                    "D": summary.hop_diameter,
+                    "k": result.details["k"],
+                    "rounds": result.rounds,
+                    "round bound": round(bound),
+                    "ratio": round(result.rounds / bound, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    fit = fit_power_law([row["n"] for row in rows], [row["rounds"] for row in rows])
+    for row in rows:
+        row["fitted exponent"] = round(fit.exponent, 2)
+    record("E3: round scaling on low-diameter graphs (Theorem 3.1)", rows)
+    assert all(row["ratio"] <= 1.0 for row in rows)
+    # sqrt(n) log n shape: the fitted exponent stays clearly sublinear.
+    assert fit.exponent < 0.95

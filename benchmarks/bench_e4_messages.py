@@ -1,0 +1,65 @@
+"""E4 (Theorem 3.1, messages): O(m log n + n log n log* n) messages.
+
+Paper claim: the message complexity is near-linear in the number of
+edges.  We sweep n on sparse graphs and density on fixed n, check the
+theorem bound, and fit messages against m: the exponent must be close to
+1 (GKP-style algorithms would show ~1.5 on sparse graphs, see E7).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.bounds import elkin_message_bound_formula
+from repro.analysis.fitting import fit_power_law
+from repro.core.elkin_mst import compute_mst
+from repro.graphs import random_connected_graph
+from repro.verify.mst_checks import verify_mst_result
+
+
+def test_e4_message_scaling(benchmark, record):
+    def run():
+        rows = []
+        for n in (64, 128, 256, 512):
+            graph = random_connected_graph(n, extra_edges=2 * n, seed=130 + n)
+            result = compute_mst(graph)
+            verify_mst_result(graph, result)
+            bound = elkin_message_bound_formula(n, graph.number_of_edges())
+            rows.append(
+                {
+                    "sweep": "n",
+                    "n": n,
+                    "m": graph.number_of_edges(),
+                    "messages": result.messages,
+                    "message bound": round(bound),
+                    "ratio": round(result.messages / bound, 3),
+                }
+            )
+        for extra in (128, 512, 2048):
+            graph = random_connected_graph(128, extra_edges=extra, seed=139)
+            result = compute_mst(graph)
+            verify_mst_result(graph, result)
+            bound = elkin_message_bound_formula(128, graph.number_of_edges())
+            rows.append(
+                {
+                    "sweep": "density",
+                    "n": 128,
+                    "m": graph.number_of_edges(),
+                    "messages": result.messages,
+                    "message bound": round(bound),
+                    "ratio": round(result.messages / bound, 3),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    n_rows = [row for row in rows if row["sweep"] == "n"]
+    fit = fit_power_law([row["m"] for row in n_rows], [row["messages"] for row in n_rows])
+    for row in rows:
+        row["fit vs m"] = round(fit.exponent, 2)
+    record("E4: message scaling (Theorem 3.1)", rows)
+    assert all(row["ratio"] <= 1.0 for row in rows)
+    # Near-linear in m: the apparent exponent includes the log n factor
+    # (m log n fitted as a pure power law over this range reads ~1.2-1.3),
+    # but it stays clearly below the 1.5 of an n^{3/2}-message algorithm.
+    assert fit.exponent < 1.4

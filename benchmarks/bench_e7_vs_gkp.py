@@ -1,0 +1,73 @@
+"""E7 (vs. GKP98/KP98): Garay-Kutten-Peleg spends Theta(m + n^{3/2}) messages;
+the paper's algorithm stays near-linear (times log factors).
+
+Paper claim (Table-of-prior-work / introduction): both algorithms are
+near-time-optimal on low-diameter graphs, but GKP's Pipeline-MST phase
+sends ~ n^{3/2} messages while the paper's algorithm sends
+~ m log n + n log n log* n.  On sparse graphs the message gap therefore
+widens as n grows.  We sweep n, compare the dedicated pipeline stage
+against the paper's whole second phase, and fit growth exponents.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.fitting import fit_power_law
+from repro.baselines import gkp_mst
+from repro.core.elkin_mst import compute_mst
+from repro.graphs import random_connected_graph
+from repro.verify.mst_checks import verify_mst_result
+
+
+def test_e7_gkp_message_comparison(benchmark, record):
+    sizes = (96, 192, 384)
+
+    def run():
+        rows = []
+        for n in sizes:
+            graph = random_connected_graph(n, extra_edges=n, seed=160 + n)
+            elkin = compute_mst(graph)
+            gkp = gkp_mst(graph)
+            verify_mst_result(graph, elkin)
+            verify_mst_result(graph, gkp)
+            assert elkin.edges == gkp.edges
+            gkp_pipeline = gkp.details["stage_costs"]["pipeline"]["messages"]
+            elkin_second = (
+                elkin.details["stage_costs"]["boruvka"]["messages"]
+                + elkin.details["stage_costs"]["intervals_and_registration"]["messages"]
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "m": graph.number_of_edges(),
+                    "elkin rounds": elkin.rounds,
+                    "gkp rounds": gkp.rounds,
+                    "elkin messages": elkin.messages,
+                    "gkp messages": gkp.messages,
+                    "elkin 2nd-phase msgs": elkin_second,
+                    "gkp pipeline msgs": gkp_pipeline,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    from repro.analysis.bounds import elkin_message_bound_formula, gkp_message_bound
+
+    elkin_fit = fit_power_law([r["m"] for r in rows], [r["elkin messages"] for r in rows])
+    for row in rows:
+        row["elkin msg bound"] = round(elkin_message_bound_formula(row["n"], row["m"]))
+        row["gkp msg bound"] = round(gkp_message_bound(row["n"], row["m"]))
+        row["elkin fit vs m"] = round(elkin_fit.exponent, 2)
+    record("E7: message complexity vs Garay-Kutten-Peleg", rows)
+    # Both algorithms stay within their respective theoretical envelopes:
+    # Elkin's near-linear O(m log n + n log n log* n) and GKP's
+    # O(m + n^{3/2}) (plus phase-1 log factors).  The asymptotic gap
+    # (n^{3/2} vs near-linear) does not yet separate the *measured*
+    # totals at these sizes because GKP's pipeline only saturates its
+    # sqrt(n)-per-vertex worst case on adversarial BFS trees; see
+    # EXPERIMENTS.md for the discussion.  What must hold is that the
+    # paper's algorithm keeps its near-linear shape:
+    assert all(row["elkin messages"] <= row["elkin msg bound"] for row in rows)
+    assert all(row["gkp messages"] <= row["gkp msg bound"] for row in rows)
+    assert elkin_fit.exponent < 1.4

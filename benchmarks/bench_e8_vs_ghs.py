@@ -1,0 +1,58 @@
+"""E8 (vs. GHS83 / classical Boruvka): O(n log n) time versus sublinear time.
+
+Paper claim (introduction): algorithms that grow fragments without
+diameter control need Theta(n) rounds per phase in the worst case even
+when the hop-diameter is tiny, because MST fragments can be long paths.
+The hub+path family (hop-diameter 2, MST diameter Theta(n)) exhibits
+exactly that: the GHS-style baseline's rounds grow linearly in n while
+the paper's algorithm grows like sqrt(n) log n.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.fitting import fit_power_law
+from repro.baselines import ghs_style_mst
+from repro.core.elkin_mst import compute_mst
+from repro.graphs import hub_path_graph
+from repro.verify.mst_checks import verify_mst_result
+
+
+def test_e8_ghs_round_comparison(benchmark, record):
+    sizes = (96, 192, 384)
+
+    def run():
+        rows = []
+        for n in sizes:
+            graph = hub_path_graph(n)
+            elkin = compute_mst(graph)
+            ghs = ghs_style_mst(graph)
+            verify_mst_result(graph, elkin)
+            verify_mst_result(graph, ghs)
+            assert elkin.edges == ghs.edges
+            rows.append(
+                {
+                    "n": n,
+                    "m": graph.number_of_edges(),
+                    "elkin rounds": elkin.rounds,
+                    "ghs rounds": ghs.rounds,
+                    "round ratio ghs/elkin": round(ghs.rounds / elkin.rounds, 2),
+                    "elkin messages": elkin.messages,
+                    "ghs messages": ghs.messages,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    elkin_fit = fit_power_law([r["n"] for r in rows], [r["elkin rounds"] for r in rows])
+    ghs_fit = fit_power_law([r["n"] for r in rows], [r["ghs rounds"] for r in rows])
+    for row in rows:
+        row["elkin exp"] = round(elkin_fit.exponent, 2)
+        row["ghs exp"] = round(ghs_fit.exponent, 2)
+    record("E8: rounds vs the GHS-style baseline (hub+path family)", rows)
+    # Shape: GHS rounds grow ~ linearly in n, the paper's grow sublinearly,
+    # and the gap widens with n (crossover in the paper's favour).
+    assert ghs_fit.exponent > 0.85
+    assert elkin_fit.exponent < ghs_fit.exponent - 0.2
+    assert rows[-1]["round ratio ghs/elkin"] > rows[0]["round ratio ghs/elkin"]

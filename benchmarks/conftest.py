@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs a full simulated execution exactly once
+(``benchmark.pedantic(..., rounds=1, iterations=1)``): the quantity of
+interest is not wall-clock time but the simulator's round and message
+counters, which are deterministic.  Results are attached to
+``benchmark.extra_info`` so ``pytest-benchmark``'s report carries the
+reproduction data, and each benchmark also prints an ASCII table that can
+be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the benchmarks from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest  # noqa: E402
+
+from repro.analysis.tables import format_table  # noqa: E402
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def record_rows(benchmark, title, rows, columns=None):
+    """Attach rows to the benchmark report and print them as a table."""
+    benchmark.extra_info["experiment"] = title
+    benchmark.extra_info["rows"] = rows
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))
+
+
+@pytest.fixture
+def record(benchmark):
+    """Convenience fixture: ``record(title, rows)``."""
+
+    def _record(title, rows, columns=None):
+        record_rows(benchmark, title, rows, columns)
+
+    return _record

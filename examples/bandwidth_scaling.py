@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""CONGEST(b log n): how bandwidth changes the running time (Theorem 3.2).
+
+The paper generalises the algorithm to the CONGEST(b log n) model, where
+every edge carries ``b`` words per round, and proves a round bound of
+``O((D + sqrt(n/b)) log n)`` with unchanged message complexity.  This
+example sweeps ``b`` on a low-diameter graph and prints the measured
+rounds next to the bound's ``sqrt(n/b)`` shape.
+
+Run with::
+
+    python examples/bandwidth_scaling.py [n]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.analysis.experiments import sweep_bandwidth
+from repro.analysis.tables import format_table
+from repro.graphs import graph_summary, random_connected_graph
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 240
+    graph = random_connected_graph(n, seed=13)
+    summary = graph_summary(graph)
+    print(f"graph: n={summary.n} m={summary.m} D={summary.hop_diameter}")
+
+    rows = sweep_bandwidth(graph, bandwidths=(1, 2, 4, 8, 16), label="bandwidth-sweep")
+    baseline_rounds = rows[0]["rounds"]
+    for row in rows:
+        b = int(row["bandwidth"])
+        row["speedup vs b=1"] = round(baseline_rounds / row["rounds"], 2)
+        row["sqrt(n/b) shape"] = round(
+            (summary.hop_diameter + math.sqrt(summary.n / b))
+            / (summary.hop_diameter + math.sqrt(summary.n)),
+            2,
+        )
+    print(format_table(rows))
+    print()
+    print("The 'sqrt(n/b) shape' column is the bound's predicted relative round")
+    print("count; measured speedups follow it until the D term and the additive")
+    print("per-phase overheads dominate.  Message counts stay near-constant, as")
+    print("Theorem 3.2 predicts.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

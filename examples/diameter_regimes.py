@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The two regimes of the paper: D <= sqrt(n) versus D > sqrt(n).
+
+Section 3 chooses the base-forest parameter ``k`` differently in the two
+regimes (``k = sqrt(n)`` for low diameter, ``k = D`` for high diameter).
+This example runs the algorithm on one family per regime plus the
+"hub + path" family (hop-diameter 2 but MST diameter Theta(n)) and shows
+how the chosen ``k``, the base-forest shape and the costs react.
+
+Run with::
+
+    python examples/diameter_regimes.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import compute_mst
+from repro.analysis.tables import format_table
+from repro.graphs import (
+    graph_summary,
+    grid_graph,
+    hub_path_graph,
+    path_graph,
+    random_connected_graph,
+)
+from repro.verify.mst_checks import verify_mst_result
+
+
+def main() -> int:
+    instances = [
+        ("random (low D)", random_connected_graph(240, seed=3)),
+        ("hub+path (D=2, long MST)", hub_path_graph(200)),
+        ("grid 12x20 (medium D)", grid_graph(12, 20, seed=3)),
+        ("path (D = n-1)", path_graph(220, seed=3)),
+    ]
+    rows = []
+    for label, graph in instances:
+        summary = graph_summary(graph)
+        result = compute_mst(graph)
+        verify_mst_result(graph, result)
+        rows.append(
+            {
+                "instance": label,
+                "n": summary.n,
+                "m": summary.m,
+                "D": summary.hop_diameter,
+                "regime": "D <= sqrt(n)" if summary.is_low_diameter else "D > sqrt(n)",
+                "k": result.details["k"],
+                "base fragments": result.details["base_fragment_count"],
+                "base max diam": result.details["base_max_diameter"],
+                "rounds": result.rounds,
+                "messages": result.messages,
+            }
+        )
+    print("Elkin's deterministic MST across diameter regimes (all runs verified):")
+    print(format_table(rows))
+    print()
+    print("Reading guide: in the low-diameter regime k tracks sqrt(n); in the")
+    print("high-diameter regime k tracks D, which keeps the per-phase upcast")
+    print("of the second phase at O(n) messages (Section 1.2 of the paper).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

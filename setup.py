@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` works on environments without the ``wheel``
+package (pip then falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

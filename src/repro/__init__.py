@@ -1,0 +1,52 @@
+"""repro: a reproduction of Elkin's deterministic distributed MST algorithm.
+
+The package implements, end to end, the algorithm of
+
+    Michael Elkin, "A Simple Deterministic Distributed MST Algorithm,
+    with Near-Optimal Time and Message Complexities", PODC 2017
+    (arXiv:1703.02411),
+
+together with the synchronous CONGEST(b log n) simulator it runs on, the
+classical baselines it is compared against (GHS-style Boruvka,
+Garay-Kutten-Peleg with Pipeline-MST, a PRS16-style second phase), a
+verification layer, and the benchmark harness that reproduces the
+paper's complexity claims.
+
+Quickstart::
+
+    from repro import compute_mst, random_connected_graph
+
+    graph = random_connected_graph(200, seed=7)
+    result = compute_mst(graph)
+    print(result.rounds, result.messages, result.total_weight)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .config import RunConfig
+from .core.elkin_mst import compute_mst
+from .core.controlled_ghs import build_base_forest
+from .core.results import MSTRunResult
+from .graphs.generators import (
+    GraphSpec,
+    make_graph,
+    random_connected_graph,
+)
+from .simulator.network import SyncNetwork
+from .types import CostReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunConfig",
+    "compute_mst",
+    "build_base_forest",
+    "MSTRunResult",
+    "GraphSpec",
+    "make_graph",
+    "random_connected_graph",
+    "SyncNetwork",
+    "CostReport",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis utilities: bound formulas, scaling fits, tables, experiment runners.
+
+The benchmark harness is intentionally thin; all of the logic that turns
+algorithm runs into the rows and series the paper's claims predict lives
+here so that the examples, the tests and the benchmarks share one code
+path.
+"""
+
+from .bounds import (
+    controlled_ghs_message_bound,
+    controlled_ghs_time_bound,
+    elkin_message_bound_formula,
+    elkin_time_bound_formula,
+    ghs_time_bound,
+    gkp_message_bound,
+    log2_ceil,
+    log_star,
+)
+from .fitting import fit_power_law, ratio_series
+from .tables import format_table
+from .experiments import (
+    ExperimentRow,
+    compare_algorithms,
+    run_single,
+    sweep_bandwidth,
+    sweep_graphs,
+)
+
+__all__ = [
+    "controlled_ghs_message_bound",
+    "controlled_ghs_time_bound",
+    "elkin_message_bound_formula",
+    "elkin_time_bound_formula",
+    "ghs_time_bound",
+    "gkp_message_bound",
+    "log2_ceil",
+    "log_star",
+    "fit_power_law",
+    "ratio_series",
+    "format_table",
+    "ExperimentRow",
+    "compare_algorithms",
+    "run_single",
+    "sweep_bandwidth",
+    "sweep_graphs",
+]

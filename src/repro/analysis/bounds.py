@@ -1,0 +1,80 @@
+"""Closed-form versions of the paper's complexity bounds.
+
+Each function evaluates one of the asymptotic bounds with an explicit
+multiplicative constant (and a small additive slack that absorbs
+low-order terms on tiny graphs).  The constants were calibrated once
+against the simulator's accounting conventions and are deliberately
+generous: the point of the bound checks is to catch *asymptotic*
+regressions (a primitive suddenly costing a factor of ``n`` more), not to
+re-prove the theorems' constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log2_ceil(value: int) -> int:
+    """``ceil(log2(value))`` with the convention that values <= 1 give 1."""
+    if value <= 1:
+        return 1
+    return math.ceil(math.log2(value))
+
+
+def log_star(value: float) -> int:
+    """The iterated logarithm ``log* value`` (base 2), at least 1."""
+    if value <= 2:
+        return 1
+    count = 0
+    current = float(value)
+    while current > 2:
+        current = math.log2(current)
+        count += 1
+    return max(1, count)
+
+
+def elkin_time_bound_formula(
+    n: int, diameter: int, bandwidth: int = 1, constant: float = 12.0, slack: int = 80
+) -> float:
+    """Theorem 3.2 round bound: ``O((D + sqrt(n / b)) * log n)``."""
+    return constant * (diameter + math.sqrt(n / bandwidth)) * log2_ceil(n) + slack
+
+
+def elkin_message_bound_formula(
+    n: int, m: int, constant: float = 12.0, slack: int = 300
+) -> float:
+    """Theorem 3.1/3.2 message bound: ``O(m log n + n log n log* n)``."""
+    log_n = log2_ceil(n)
+    return constant * (m * log_n + n * log_n * log_star(n)) + slack
+
+
+def controlled_ghs_time_bound(
+    n: int, k: int, constant: float = 30.0, slack: int = 60
+) -> float:
+    """Theorem 4.3 round bound: ``O(k log* n)``."""
+    return constant * k * log_star(n) + slack
+
+
+def controlled_ghs_message_bound(
+    n: int, m: int, k: int, constant: float = 12.0, slack: int = 300
+) -> float:
+    """Theorem 4.3 message bound: ``O(m log k + n log k log* n)``."""
+    log_k = log2_ceil(max(2, k))
+    return constant * (m * log_k + n * log_k * log_star(n)) + slack
+
+
+def gkp_message_bound(n: int, m: int, constant: float = 10.0, slack: int = 300) -> float:
+    """Garay-Kutten-Peleg message bound: ``O(m + n^{3/2})`` (plus the phase-1 log factors)."""
+    return constant * (m * log2_ceil(n) + n * math.sqrt(n) + n * log2_ceil(n) * log_star(n)) + slack
+
+
+def ghs_time_bound(n: int, constant: float = 10.0, slack: int = 60) -> float:
+    """Round bound of the GHS-style baseline: ``O(n log n)``."""
+    return constant * n * log2_ceil(n) + slack
+
+
+def pipeline_phase_time_bound(
+    n: int, diameter: int, k: int, bandwidth: int = 1, constant: float = 12.0, slack: int = 40
+) -> float:
+    """Per-phase round bound of the second phase: ``O(D + k + n / (k b))`` (Equation (1))."""
+    return constant * (diameter + k + n / (k * bandwidth)) + slack

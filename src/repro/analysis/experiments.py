@@ -1,0 +1,168 @@
+"""Experiment runners shared by the benchmark harness and the examples.
+
+Each runner takes declarative input (graph specs, algorithm names,
+bandwidths), executes the corresponding simulated runs, verifies the
+output against the sequential oracles, and returns flat row dictionaries
+ready for :func:`repro.analysis.tables.format_table` or for
+pytest-benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+from ..baselines.ghs import ghs_style_mst
+from ..baselines.gkp import gkp_mst
+from ..baselines.prs import prs_style_mst
+from ..config import RunConfig
+from ..core.elkin_mst import compute_mst
+from ..core.results import MSTRunResult
+from ..exceptions import ConfigurationError
+from ..graphs.generators import GraphSpec
+from ..graphs.properties import hop_diameter
+from .bounds import elkin_message_bound_formula, elkin_time_bound_formula
+
+#: One row of experiment output (column name -> value).
+ExperimentRow = Dict[str, object]
+
+_ALGORITHMS: Dict[str, Callable[[nx.Graph, RunConfig], MSTRunResult]] = {
+    "elkin": lambda graph, config: compute_mst(graph, config),
+    "ghs": lambda graph, config: ghs_style_mst(graph, config),
+    "gkp": lambda graph, config: gkp_mst(graph, config),
+    "prs": lambda graph, config: prs_style_mst(graph, config),
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by the ``algorithm`` arguments below."""
+    return sorted(_ALGORITHMS)
+
+
+def run_single(
+    graph: nx.Graph,
+    algorithm: str = "elkin",
+    bandwidth: int = 1,
+    verify: bool = True,
+    base_forest_k: Optional[int] = None,
+) -> MSTRunResult:
+    """Run one distributed MST algorithm on ``graph`` and (optionally) verify it."""
+    if algorithm not in _ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; available: {', '.join(available_algorithms())}"
+        )
+    config = RunConfig(bandwidth=bandwidth, base_forest_k=base_forest_k)
+    result = _ALGORITHMS[algorithm](graph, config)
+    if verify:
+        from ..verify.mst_checks import verify_mst_result
+
+        verify_mst_result(graph, result)
+    return result
+
+
+def _describe(graph: nx.Graph, compute_diameter: bool) -> Dict[str, object]:
+    row: Dict[str, object] = {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+    }
+    if compute_diameter:
+        row["D"] = hop_diameter(graph)
+    return row
+
+
+def sweep_graphs(
+    specs: Sequence[GraphSpec],
+    algorithm: str = "elkin",
+    bandwidth: int = 1,
+    verify: bool = True,
+    compute_diameter: bool = True,
+) -> List[ExperimentRow]:
+    """Run ``algorithm`` on every spec and report one row per instance.
+
+    Rows include the measured rounds/messages and, for the paper's
+    algorithm, the theorem bounds evaluated on the same instance together
+    with the measured/bound ratios (values below 1.0 mean the bound
+    holds with the calibrated constants).
+    """
+    rows: List[ExperimentRow] = []
+    for spec in specs:
+        graph = spec.build()
+        row: ExperimentRow = {"graph": spec.label()}
+        row.update(_describe(graph, compute_diameter))
+        result = run_single(graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify)
+        row.update(
+            {
+                "algorithm": algorithm,
+                "bandwidth": bandwidth,
+                "rounds": result.rounds,
+                "messages": result.messages,
+            }
+        )
+        if algorithm == "elkin":
+            diameter = int(row.get("D", result.details.get("bfs_depth", 0)))
+            time_bound = elkin_time_bound_formula(result.n, diameter, bandwidth)
+            message_bound = elkin_message_bound_formula(result.n, result.m)
+            row.update(
+                {
+                    "k": result.details.get("k"),
+                    "round_bound": round(time_bound),
+                    "round_ratio": round(result.rounds / time_bound, 3),
+                    "message_bound": round(message_bound),
+                    "message_ratio": round(result.messages / message_bound, 3),
+                }
+            )
+        rows.append(row)
+    return rows
+
+
+def compare_algorithms(
+    graph: nx.Graph,
+    algorithms: Iterable[str] = ("elkin", "ghs", "gkp"),
+    bandwidth: int = 1,
+    verify: bool = True,
+    label: str = "",
+    compute_diameter: bool = True,
+) -> List[ExperimentRow]:
+    """Run several algorithms on the same instance (the head-to-head experiments)."""
+    description = _describe(graph, compute_diameter)
+    rows: List[ExperimentRow] = []
+    for algorithm in algorithms:
+        result = run_single(graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify)
+        row: ExperimentRow = {"graph": label or "instance"}
+        row.update(description)
+        row.update(
+            {
+                "algorithm": algorithm,
+                "rounds": result.rounds,
+                "messages": result.messages,
+                "weight": round(result.total_weight, 3),
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def sweep_bandwidth(
+    graph: nx.Graph,
+    bandwidths: Sequence[int] = (1, 2, 4, 8, 16),
+    algorithm: str = "elkin",
+    verify: bool = True,
+    label: str = "",
+) -> List[ExperimentRow]:
+    """Run the same instance under several CONGEST(b log n) bandwidths (Theorem 3.2)."""
+    rows: List[ExperimentRow] = []
+    description = _describe(graph, compute_diameter=True)
+    for bandwidth in bandwidths:
+        result = run_single(graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify)
+        row: ExperimentRow = {"graph": label or "instance", "bandwidth": bandwidth}
+        row.update(description)
+        row.update(
+            {
+                "k": result.details.get("k"),
+                "rounds": result.rounds,
+                "messages": result.messages,
+            }
+        )
+        rows.append(row)
+    return rows

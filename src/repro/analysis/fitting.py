@@ -1,0 +1,69 @@
+"""Scaling-law fitting helpers.
+
+The reproduction does not try to match absolute constants (our substrate
+is a simulator, not the authors' model network); what must match is the
+*shape* of the curves: message counts growing near-linearly in ``m`` for
+the paper's algorithm versus ``n^{3/2}`` for GKP, round counts growing
+like ``sqrt(n) log n`` versus ``n log n`` for GHS, and so on.  The
+helpers here fit power laws on log-log scales and compute ratio series,
+which is what the benchmark output and EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A least-squares fit of ``y ~= scale * x ** exponent``."""
+
+    exponent: float
+    scale: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        return self.scale * (x**self.exponent)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = scale * x^exponent`` by linear regression in log-log space.
+
+    Requires at least two strictly positive points.  The ``residual`` is
+    the mean squared error of the fit in log space (useful for judging
+    whether a power law is a reasonable description at all).
+    """
+    if len(xs) != len(ys):
+        raise ReproError(f"mismatched series lengths: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ReproError("need at least two points to fit a power law")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ReproError("power-law fitting requires strictly positive values")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    design = np.vstack([log_x, np.ones_like(log_x)]).T
+    (slope, intercept), residuals, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+    if residuals.size:
+        mse = float(residuals[0]) / len(xs)
+    else:
+        mse = float(np.mean((design @ np.array([slope, intercept]) - log_y) ** 2))
+    return PowerLawFit(exponent=float(slope), scale=float(np.exp(intercept)), residual=mse)
+
+
+def ratio_series(numerators: Sequence[float], denominators: Sequence[float]) -> list[float]:
+    """Element-wise ratios, used for "who wins by what factor" summaries."""
+    if len(numerators) != len(denominators):
+        raise ReproError(
+            f"mismatched series lengths: {len(numerators)} vs {len(denominators)}"
+        )
+    ratios = []
+    for numerator, denominator in zip(numerators, denominators):
+        if denominator == 0:
+            raise ReproError("cannot compute a ratio with a zero denominator")
+        ratios.append(numerator / denominator)
+    return ratios

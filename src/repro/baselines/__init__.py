@@ -1,0 +1,38 @@
+"""Baseline MST algorithms the paper compares against (or builds upon).
+
+Sequential references (used for verification and as ground truth):
+
+* :mod:`repro.baselines.kruskal`, :mod:`repro.baselines.prim`,
+  :mod:`repro.baselines.boruvka_seq`.
+
+Distributed baselines (all run on the same simulator and report the same
+result type as the paper's algorithm):
+
+* :mod:`repro.baselines.ghs` -- a synchronous GHS-style Boruvka with no
+  diameter control: O(n log n) time, O((|E| + n) log n) messages.
+* :mod:`repro.baselines.gkp` -- the Garay-Kutten-Peleg two-phase
+  algorithm: Controlled-GHS with ``k = sqrt(n)`` followed by the
+  Pipeline-MST upcast; near-optimal time but Theta(|E| + n^{3/2})
+  messages.
+* :mod:`repro.baselines.prs` -- the paper's algorithm forced to use a
+  ``(sqrt(n), sqrt(n))`` base forest regardless of the diameter, i.e. the
+  "second phase of [PRS16] without neighbourhood covers"; it exhibits the
+  Theta(D sqrt(n)) message blow-up on high-diameter graphs that motivates
+  the paper's ``k = D`` choice.
+"""
+
+from .boruvka_seq import boruvka_mst
+from .ghs import ghs_style_mst
+from .gkp import gkp_mst
+from .kruskal import kruskal_mst
+from .prim import prim_mst
+from .prs import prs_style_mst
+
+__all__ = [
+    "boruvka_mst",
+    "ghs_style_mst",
+    "gkp_mst",
+    "kruskal_mst",
+    "prim_mst",
+    "prs_style_mst",
+]

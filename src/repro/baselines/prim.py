@@ -1,0 +1,57 @@
+"""Sequential Prim MST (second independent reference).
+
+Having two independent sequential implementations (Prim with a heap here,
+Kruskal with union-find in :mod:`repro.baselines.kruskal`) plus networkx
+gives the verification layer three mutually checking oracles; the
+distributed algorithms must agree with all of them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Set
+
+import networkx as nx
+
+from ..exceptions import DisconnectedGraphError, GraphError
+from ..types import Edge, normalize_edge
+
+
+def prim_mst(graph: nx.Graph) -> Set[Edge]:
+    """The MST of ``graph`` as a set of canonical edges (Prim's algorithm).
+
+    Ties are broken by the ``(weight, u, v)`` total order, matching the
+    rest of the library.  Raises :class:`DisconnectedGraphError` when the
+    graph is not connected.
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphError("cannot compute the MST of an empty graph")
+    start = min(graph.nodes())
+    visited = {start}
+    chosen: Set[Edge] = set()
+    frontier = [
+        (graph[start][neighbor]["weight"], *normalize_edge(start, neighbor), neighbor)
+        for neighbor in graph.neighbors(start)
+    ]
+    heapq.heapify(frontier)
+    while frontier and len(visited) < graph.number_of_nodes():
+        weight, u, v, new_vertex = heapq.heappop(frontier)
+        if new_vertex in visited:
+            continue
+        visited.add(new_vertex)
+        chosen.add((u, v))
+        for neighbor in graph.neighbors(new_vertex):
+            if neighbor not in visited:
+                heapq.heappush(
+                    frontier,
+                    (
+                        graph[new_vertex][neighbor]["weight"],
+                        *normalize_edge(new_vertex, neighbor),
+                        neighbor,
+                    ),
+                )
+    if len(visited) != graph.number_of_nodes():
+        raise DisconnectedGraphError(
+            f"graph is disconnected: Prim reached {len(visited)} of {graph.number_of_nodes()} vertices"
+        )
+    return chosen

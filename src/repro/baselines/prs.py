@@ -1,0 +1,47 @@
+"""A PRS16-style second phase over a (sqrt(n), sqrt(n)) base forest.
+
+Pandurangan, Robinson and Scquizzato (STOC'17) merge fragments with
+Boruvka phases coordinated through a BFS tree, always on top of an
+``(O(sqrt(n)), O(sqrt(n)))`` base forest.  When ``D <= sqrt(n)`` this is
+both time- and message-efficient, but for ``D >> sqrt(n)`` the per-phase
+upcast/downcast of ``Theta(sqrt(n))`` items over a depth-``D`` tree costs
+``Theta(D sqrt(n))`` messages per phase -- the blow-up that [PRS16] avoid
+with randomised neighbourhood covers and that the paper avoids (this
+paper's contribution) by switching to a ``k = D`` base forest.
+
+This baseline is exactly the paper's engine forced to ``k = sqrt(n)``,
+i.e. "PRS16's second phase without the neighbourhood-cover machinery".
+Experiment E9 uses it to reproduce the message-count crossover that
+motivates Section 1.2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import networkx as nx
+
+from ..config import RunConfig
+from ..core.elkin_mst import compute_mst
+from ..core.results import MSTRunResult
+from ..types import VertexId
+
+
+def prs_style_mst(
+    graph: nx.Graph,
+    config: Optional[RunConfig] = None,
+    root: Optional[VertexId] = None,
+) -> MSTRunResult:
+    """Compute the MST with the sqrt(n)-base-forest (PRS16-style) strategy."""
+    config = config or RunConfig()
+    n = graph.number_of_nodes()
+    forced_k = max(1, min(math.ceil(math.sqrt(max(n, 1))), max(1, n // 10)))
+    forced_config = dataclasses.replace(config, base_forest_k=forced_k)
+    result = compute_mst(graph, forced_config, root=root)
+    return dataclasses.replace(
+        result,
+        algorithm="prs-style",
+        details={**result.details, "forced_k": forced_k},
+    )

@@ -1,0 +1,122 @@
+"""Command-line front-end.
+
+Examples::
+
+    repro-mst run --family random_connected --n 200 --algorithm elkin
+    repro-mst compare --family grid --rows 10 --cols 10
+    repro-mst sweep-bandwidth --family random_connected --n 256 --bandwidths 1 2 4 8
+
+Every subcommand builds a graph from a generator family, runs one or more
+of the simulated algorithms, verifies the result against the sequential
+oracles and prints an ASCII table with the measured rounds and messages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import (
+    available_algorithms,
+    compare_algorithms,
+    run_single,
+    sweep_bandwidth,
+)
+from .analysis.tables import format_table
+from .graphs.generators import FAMILIES, make_graph
+from .graphs.properties import graph_summary
+from .logging_utils import enable_console_logging
+
+
+def _graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        default="random_connected",
+        choices=sorted(FAMILIES),
+        help="graph generator family",
+    )
+    parser.add_argument("--n", type=int, default=100, help="number of vertices (where applicable)")
+    parser.add_argument("--rows", type=int, default=None, help="rows (grid / torus families)")
+    parser.add_argument("--cols", type=int, default=None, help="columns (grid / torus families)")
+    parser.add_argument("--clique-size", type=int, default=None, help="clique size (lollipop / barbell)")
+    parser.add_argument("--path-length", type=int, default=None, help="path length (lollipop / barbell)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed for the generator")
+
+
+def _build_graph(args: argparse.Namespace):
+    params = {"seed": args.seed}
+    if args.family in ("grid", "torus"):
+        params["rows"] = args.rows or 10
+        params["cols"] = args.cols or 10
+    elif args.family in ("lollipop", "barbell"):
+        params["clique_size"] = args.clique_size or 10
+        params["path_length"] = args.path_length or 30
+    else:
+        params["n"] = args.n
+    return make_graph(args.family, **params)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mst",
+        description="Deterministic distributed MST (Elkin, PODC 2017) on a CONGEST simulator",
+    )
+    parser.add_argument("--verbose", action="store_true", help="enable console logging")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one algorithm on one generated graph")
+    _graph_arguments(run_parser)
+    run_parser.add_argument(
+        "--algorithm", default="elkin", choices=available_algorithms(), help="algorithm to run"
+    )
+    run_parser.add_argument("--bandwidth", type=int, default=1, help="CONGEST(b log n) bandwidth")
+
+    compare_parser = subparsers.add_parser("compare", help="compare algorithms on one graph")
+    _graph_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["elkin", "ghs", "gkp"],
+        choices=available_algorithms(),
+        help="algorithms to compare",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep-bandwidth", help="run the paper's algorithm under several bandwidths"
+    )
+    _graph_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--bandwidths", nargs="+", type=int, default=[1, 2, 4, 8], help="bandwidth values"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-mst`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+
+    graph = _build_graph(args)
+    summary = graph_summary(graph)
+    print(
+        f"graph: family={args.family} n={summary.n} m={summary.m} D={summary.hop_diameter}"
+    )
+
+    if args.command == "run":
+        result = run_single(graph, algorithm=args.algorithm, bandwidth=args.bandwidth)
+        print(format_table([result.summary_row()]))
+        print(f"MST weight: {result.total_weight:.3f} ({result.edge_count} edges, verified)")
+    elif args.command == "compare":
+        rows = compare_algorithms(graph, algorithms=args.algorithms, label=args.family)
+        print(format_table(rows))
+    elif args.command == "sweep-bandwidth":
+        rows = sweep_bandwidth(graph, bandwidths=args.bandwidths, label=args.family)
+        print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Configuration objects for algorithm runs.
+
+The paper's algorithm has a small number of tunables: the bandwidth
+parameter ``b`` of the CONGEST(b log n) model, the base-forest parameter
+``k`` (normally derived from ``n``, ``D`` and ``b``), and bookkeeping
+switches (telemetry, strict bound checking).  :class:`RunConfig` bundles
+them so that examples, tests and benchmarks construct runs uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .exceptions import ConfigurationError
+
+
+@dataclass
+class RunConfig:
+    """Configuration for a single distributed MST execution.
+
+    Attributes:
+        bandwidth: ``b`` of the CONGEST(b log n) model; ``b = 1`` is the
+            standard CONGEST model.  Each message carries at most ``b``
+            words (edge weights / identities).
+        base_forest_k: explicit override of the base-forest parameter
+            ``k``.  When ``None`` the paper's rule is applied:
+            ``k = sqrt(n / b)`` if ``D <= sqrt(n / b)`` else ``k = D``.
+        collect_telemetry: record per-phase telemetry (fragment counts,
+            rounds, messages) on the result object.
+        strict_bounds: when True, the run raises
+            :class:`~repro.exceptions.VerificationError` if measured
+            rounds or messages exceed the theorem bounds with the
+            constants configured in :mod:`repro.verify.complexity_checks`.
+        seed: seed recorded on the result for provenance (the algorithm
+            itself is deterministic; the seed only describes the input
+            generator that produced the graph).
+    """
+
+    bandwidth: int = 1
+    base_forest_k: Optional[int] = None
+    collect_telemetry: bool = True
+    strict_bounds: bool = False
+    seed: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 1:
+            raise ConfigurationError(f"bandwidth must be >= 1, got {self.bandwidth}")
+        if self.base_forest_k is not None and self.base_forest_k < 1:
+            raise ConfigurationError(
+                f"base_forest_k must be >= 1 when given, got {self.base_forest_k}"
+            )
+
+
+DEFAULT_CONFIG = RunConfig()

@@ -1,0 +1,178 @@
+"""Deterministic Cole-Vishkin colouring of rooted forests.
+
+Section 4 of the paper 3-colours the candidate fragment graph ``G'_i``
+(a rooted forest: every small fragment points to the fragment its MWOE
+leads to) by "simulating Cole-Vishkin's 3-vertex-coloring algorithm",
+with every colour exchange between a fragment and its children costing
+one parent-to-children communication step.
+
+This module contains the colour arithmetic, which is local computation in
+the distributed algorithm.  The number of communication steps it needs is
+reported back to the caller (and can be observed through the
+``on_exchange`` callback, which Controlled-GHS uses to charge the
+corresponding rounds and messages in the simulator):
+
+* one exchange per bit-reduction iteration (``O(log* n)`` of them), and
+* one exchange per shift-down step of the final six-to-three reduction
+  (three of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
+
+from ..exceptions import ProtocolError
+
+Node = Hashable
+ExchangeCallback = Callable[[Dict[Node, int]], None]
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of the Cole-Vishkin procedure.
+
+    Attributes:
+        colors: a proper colouring of the forest with colours in {0, 1, 2}.
+        bit_reduction_iterations: iterations of the logarithmic colour
+            reduction (the ``log* n`` part).
+        shift_down_steps: steps of the final six-to-three reduction
+            (always 3 unless the forest was already 3-coloured).
+        exchanges: total parent-to-children communication steps consumed.
+    """
+
+    colors: Dict[Node, int]
+    bit_reduction_iterations: int
+    shift_down_steps: int
+
+    @property
+    def exchanges(self) -> int:
+        return self.bit_reduction_iterations + self.shift_down_steps
+
+
+def _lowest_differing_bit(a: int, b: int) -> int:
+    """Index of the lowest bit in which ``a`` and ``b`` differ (they must differ)."""
+    difference = a ^ b
+    if difference == 0:
+        raise ProtocolError("colour collision between a vertex and its parent")
+    return (difference & -difference).bit_length() - 1
+
+
+def validate_coloring(parent: Dict[Node, Optional[Node]], colors: Dict[Node, int]) -> None:
+    """Raise :class:`ProtocolError` unless ``colors`` is a proper colouring of the forest."""
+    for node, parent_node in parent.items():
+        if node not in colors:
+            raise ProtocolError(f"node {node!r} has no colour")
+        if parent_node is None:
+            continue
+        if colors[node] == colors[parent_node]:
+            raise ProtocolError(
+                f"improper colouring: {node!r} and its parent {parent_node!r} "
+                f"share colour {colors[node]}"
+            )
+
+
+def cole_vishkin_coloring(
+    parent: Dict[Node, Optional[Node]],
+    initial_ids: Optional[Dict[Node, int]] = None,
+    on_exchange: Optional[ExchangeCallback] = None,
+) -> ColoringResult:
+    """Compute a proper 3-colouring of a rooted forest deterministically.
+
+    Args:
+        parent: parent pointer of every node (``None`` for roots).
+        initial_ids: distinct non-negative integers seeding the colouring;
+            defaults to enumerating the nodes in sorted order, but the
+            distributed algorithm passes the fragment identities.
+        on_exchange: invoked once before every colour-exchange step with
+            the colours about to be communicated; Controlled-GHS uses it
+            to charge the corresponding broadcast/convergecast costs.
+
+    Returns:
+        A :class:`ColoringResult` whose ``colors`` use only {0, 1, 2} and
+        are proper on every (child, parent) edge.
+    """
+    if not parent:
+        raise ProtocolError("cannot colour an empty forest")
+    nodes = list(parent)
+    for node, parent_node in parent.items():
+        if parent_node is not None and parent_node not in parent:
+            raise ProtocolError(f"parent {parent_node!r} of {node!r} is not a forest node")
+
+    if initial_ids is None:
+        initial_ids = {node: index for index, node in enumerate(sorted(nodes, key=repr))}
+    colors: Dict[Node, int] = {}
+    seen: Dict[int, Node] = {}
+    for node in nodes:
+        if node not in initial_ids:
+            raise ProtocolError(f"node {node!r} has no initial identifier")
+        value = int(initial_ids[node])
+        if value < 0:
+            raise ProtocolError(f"initial identifier of {node!r} is negative ({value})")
+        if value in seen:
+            raise ProtocolError(
+                f"initial identifiers must be distinct: {node!r} and {seen[value]!r} share {value}"
+            )
+        seen[value] = node
+        colors[node] = value
+
+    def notify() -> None:
+        if on_exchange is not None:
+            on_exchange(dict(colors))
+
+    # Phase 1: iterated bit reduction until at most six colours remain
+    # (values 0..5).  Each iteration consumes one parent-colour exchange.
+    bit_iterations = 0
+    while max(colors.values()) >= 6:
+        notify()
+        bit_iterations += 1
+        new_colors: Dict[Node, int] = {}
+        for node in nodes:
+            own = colors[node]
+            parent_node = parent[node]
+            reference = colors[parent_node] if parent_node is not None else own ^ 1
+            index = _lowest_differing_bit(own, reference)
+            new_colors[node] = (index << 1) | ((own >> index) & 1)
+        colors = new_colors
+
+    # Phase 2: shift-down + recolour to eliminate colours 5, 4, 3.
+    shift_steps = 0
+    for retired_color in (5, 4, 3):
+        if max(colors.values()) < 3:
+            break
+        notify()
+        shift_steps += 1
+        shifted: Dict[Node, int] = {}
+        for node in nodes:
+            parent_node = parent[node]
+            if parent_node is None:
+                # The root picks a fresh colour different from its own so
+                # that it keeps differing from its children (which all
+                # adopt the root's previous colour).
+                shifted[node] = 0 if colors[node] != 0 else 1
+            else:
+                shifted[node] = colors[parent_node]
+        # After the shift-down all children of a node share that node's
+        # previous colour, so a node of the retired colour can pick any
+        # colour in {0, 1, 2} avoiding its (shifted) parent colour and its
+        # children's common colour.
+        recolored: Dict[Node, int] = {}
+        for node in nodes:
+            if shifted[node] != retired_color:
+                recolored[node] = shifted[node]
+                continue
+            parent_node = parent[node]
+            forbidden = {colors[node]}  # the children's colour after the shift
+            if parent_node is not None:
+                forbidden.add(shifted[parent_node])
+            recolored[node] = min(c for c in (0, 1, 2) if c not in forbidden)
+        colors = recolored
+
+    validate_coloring(parent, colors)
+    if max(colors.values()) > 2:
+        raise ProtocolError(f"colour reduction stalled with max colour {max(colors.values())}")
+    return ColoringResult(
+        colors=colors,
+        bit_reduction_iterations=bit_iterations,
+        shift_down_steps=shift_steps,
+    )

@@ -1,0 +1,104 @@
+"""Maximal matching on the candidate fragment forest (Section 4).
+
+Given the rooted candidate fragment forest ``G'_i`` (every small fragment
+points, via its MWOE, to another fragment) and a proper 3-colouring of
+it, the paper computes a maximal matching in three steps: in step
+``j in {0, 1, 2}`` every still-unmatched fragment of colour ``j`` that
+has at least one unmatched child picks one such child and matches with it
+(over the MWOE edge joining them).
+
+The decision logic is local computation at fragment roots; the
+communication it needs (children reporting whether they are unmatched,
+parents notifying the chosen child) is charged by Controlled-GHS through
+the ``on_step`` callback, one gather + one notify exchange per colour
+step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Optional, Set
+
+from ..exceptions import ProtocolError
+from .cole_vishkin import validate_coloring
+
+Node = Hashable
+MatchingEdge = FrozenSet[Node]
+StepCallback = Callable[[int, Set[MatchingEdge]], None]
+
+
+def maximal_matching_from_coloring(
+    parent: Dict[Node, Optional[Node]],
+    colors: Dict[Node, int],
+    on_step: Optional[StepCallback] = None,
+) -> Set[MatchingEdge]:
+    """Compute a maximal matching of a rooted forest from a proper 3-colouring.
+
+    Args:
+        parent: parent pointer of every forest node (``None`` for roots).
+        colors: proper colouring with colours in {0, 1, 2}.
+        on_step: called once per colour step with the step index and the
+            matching accumulated so far (before the step's additions are
+            final); Controlled-GHS uses it to charge the two
+            fragment-level exchanges each step costs.
+
+    Returns:
+        A set of 2-element frozensets {child, parent}; every edge of the
+        matching is a (child, parent) edge of the forest, no two edges
+        share a node, and the matching is maximal (no forest edge joins
+        two unmatched nodes).
+    """
+    validate_coloring(parent, colors)
+    invalid = [node for node, color in colors.items() if color not in (0, 1, 2)]
+    if invalid:
+        raise ProtocolError(
+            f"maximal matching needs colours in {{0, 1, 2}}; node {invalid[0]!r} has {colors[invalid[0]]}"
+        )
+
+    children: Dict[Node, list] = {node: [] for node in parent}
+    for node, parent_node in parent.items():
+        if parent_node is not None:
+            children[parent_node].append(node)
+    for child_list in children.values():
+        child_list.sort(key=repr)
+
+    matched: Set[Node] = set()
+    matching: Set[MatchingEdge] = set()
+    for step in (0, 1, 2):
+        if on_step is not None:
+            on_step(step, set(matching))
+        # Deterministic order so the whole algorithm stays deterministic.
+        for node in sorted(parent, key=repr):
+            if colors[node] != step or node in matched:
+                continue
+            candidates = [child for child in children[node] if child not in matched]
+            if not candidates:
+                continue
+            chosen = candidates[0]
+            matched.add(node)
+            matched.add(chosen)
+            matching.add(frozenset((node, chosen)))
+    _assert_maximal(parent, matching, matched)
+    return matching
+
+
+def _assert_maximal(
+    parent: Dict[Node, Optional[Node]],
+    matching: Set[MatchingEdge],
+    matched: Set[Node],
+) -> None:
+    """Defensive check: the produced matching is a maximal matching of the forest."""
+    incident: Dict[Node, int] = {}
+    for edge in matching:
+        if len(edge) != 2:
+            raise ProtocolError(f"matching edge {edge!r} does not have two endpoints")
+        for node in edge:
+            incident[node] = incident.get(node, 0) + 1
+            if incident[node] > 1:
+                raise ProtocolError(f"node {node!r} is matched twice")
+    for node, parent_node in parent.items():
+        if parent_node is None:
+            continue
+        if node not in matched and parent_node not in matched:
+            raise ProtocolError(
+                f"matching is not maximal: edge ({node!r}, {parent_node!r}) joins two unmatched nodes"
+            )

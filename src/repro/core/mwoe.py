@@ -1,0 +1,105 @@
+"""Minimum-weight outgoing edge (MWOE) searches.
+
+Both phases of the paper repeatedly need, for every fragment ``F`` of
+some forest, the lightest edge with exactly one endpoint in ``F`` --
+either leaving ``F`` itself (Controlled-GHS) or leaving the *coarse*
+fragment ``F_hat`` that contains ``F`` (the Boruvka-over-BFS phase,
+where the candidate is computed per *base* fragment but must leave the
+coarse fragment).
+
+The search is the textbook two-step procedure: every vertex inspects its
+incident edges locally (it knows which group each neighbour belongs to
+from the preceding neighbour exchange), then a convergecast over the
+fragment tree keeps the minimum.  Cost per forest: O(max fragment
+diameter) rounds and O(n) messages, because all fragments search in
+parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..simulator.network import SyncNetwork
+from ..simulator.primitives.convergecast import forest_convergecast
+from ..simulator.primitives.trees import RootedForest
+from ..types import FragmentId, VertexId, normalize_edge
+
+#: A candidate outgoing edge: (weight, u, v, group of v).  Tuples compare
+#: lexicographically, and weights are unique, so ``min`` picks the MWOE
+#: and ties can never be broken arbitrarily.
+Candidate = Tuple[float, VertexId, VertexId, FragmentId]
+
+
+def minimum_candidate(
+    first: Optional[Candidate], second: Optional[Candidate]
+) -> Optional[Candidate]:
+    """Combiner for convergecasts over optional candidates (min, ignoring None)."""
+    if first is None:
+        return second
+    if second is None:
+        return first
+    return first if first <= second else second
+
+
+def local_outgoing_candidate(
+    network: SyncNetwork,
+    vertex: VertexId,
+    own_group: FragmentId,
+    neighbor_groups: Dict[VertexId, FragmentId],
+) -> Optional[Candidate]:
+    """The lightest edge from ``vertex`` to a neighbour outside ``own_group``.
+
+    ``neighbor_groups`` is the information obtained from the neighbour
+    exchange (group identity of every neighbour).  Returns ``None`` when
+    every neighbour lies in the same group.
+    """
+    node = network.node(vertex)
+    best: Optional[Candidate] = None
+    for neighbor in node.neighbors:
+        if neighbor_groups.get(neighbor, own_group) == own_group:
+            continue
+        candidate: Candidate = (
+            node.edge_weights[neighbor],
+            vertex,
+            neighbor,
+            neighbor_groups[neighbor],
+        )
+        best = minimum_candidate(best, candidate)
+    return best
+
+
+def fragment_outgoing_edges(
+    network: SyncNetwork,
+    fragment_forest: RootedForest,
+    group_of: Dict[VertexId, FragmentId],
+    neighbor_groups: Dict[VertexId, Dict[VertexId, FragmentId]],
+) -> Dict[VertexId, Optional[Candidate]]:
+    """For every tree of ``fragment_forest``, the lightest edge leaving its group.
+
+    Args:
+        network: the simulated network (charged for the convergecast).
+        fragment_forest: the fragment trees to search (all in parallel).
+        group_of: the group each participating vertex must "leave" --
+            its own fragment in Controlled-GHS, its coarse fragment in
+            the Boruvka-over-BFS phase.
+        neighbor_groups: per vertex, the group of each of its neighbours
+            (from :func:`~repro.simulator.primitives.neighbor_exchange.neighbor_exchange`).
+
+    Returns:
+        Mapping from each fragment root to its minimum outgoing candidate
+        (``None`` when the whole group has no outgoing edge, i.e. it
+        already spans the graph).
+    """
+    values: Dict[VertexId, Optional[Candidate]] = {}
+    for vertex in fragment_forest.vertices:
+        values[vertex] = local_outgoing_candidate(
+            network, vertex, group_of[vertex], neighbor_groups.get(vertex, {})
+        )
+    result = forest_convergecast(network, fragment_forest, values, minimum_candidate)
+    return result.root_values
+
+
+def candidate_edge(candidate: Candidate) -> Tuple[VertexId, VertexId]:
+    """Canonical (sorted) edge of a candidate tuple."""
+    _, u, v, _ = candidate
+    return normalize_edge(u, v)

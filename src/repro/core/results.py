@@ -1,0 +1,81 @@
+"""Result objects shared by the paper's algorithm and the baselines.
+
+Every distributed MST run in this library -- the paper's algorithm, the
+GHS-style baseline, the Garay-Kutten-Peleg baseline and the PRS-style
+second phase -- reports its outcome as an :class:`MSTRunResult`: the tree
+it produced plus the rounds and messages it consumed.  Benchmarks and the
+verification layer only depend on this shape, which is what makes the
+head-to-head experiments (E7-E9) uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from ..types import CostReport, Edge, PhaseTelemetry
+
+
+@dataclass
+class MSTRunResult:
+    """Outcome of one distributed MST execution.
+
+    Attributes:
+        algorithm: short identifier (``"elkin"``, ``"ghs"``, ``"gkp"``, ...).
+        edges: the MST edges, in canonical (sorted-endpoint) form.
+        total_weight: sum of the selected edges' weights.
+        cost: rounds, messages and words consumed.
+        n / m: size of the input graph.
+        bandwidth: the ``b`` of CONGEST(b log n) used for the run.
+        phases: optional per-phase telemetry.
+        details: algorithm-specific extras (parameter ``k``, BFS depth,
+            base-forest statistics, per-stage cost split, ...).
+    """
+
+    algorithm: str
+    edges: Set[Edge]
+    total_weight: float
+    cost: CostReport
+    n: int
+    m: int
+    bandwidth: int = 1
+    phases: List[PhaseTelemetry] = field(default_factory=list)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Rounds consumed (the paper's time complexity measure)."""
+        return self.cost.rounds
+
+    @property
+    def messages(self) -> int:
+        """Messages consumed (the paper's message complexity measure)."""
+        return self.cost.messages
+
+    @property
+    def edge_count(self) -> int:
+        """Number of selected edges (``n - 1`` for a correct run)."""
+        return len(self.edges)
+
+    def spans(self, graph: nx.Graph) -> bool:
+        """True when the selected edges form a spanning tree of ``graph``."""
+        if self.edge_count != graph.number_of_nodes() - 1:
+            return False
+        tree = nx.Graph()
+        tree.add_nodes_from(graph.nodes())
+        tree.add_edges_from(self.edges)
+        return nx.is_connected(tree)
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat dictionary used by the benchmark tables."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "m": self.m,
+            "bandwidth": self.bandwidth,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "weight": round(self.total_weight, 6),
+        }

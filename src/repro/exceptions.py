@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses signal
+which subsystem rejected the input or detected an inconsistency.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """The input graph violates a requirement (connectivity, weights, ...)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires a connected graph received a disconnected one."""
+
+
+class WeightError(GraphError):
+    """Edge weights are missing, non-positive, or not unique when required."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state."""
+
+
+class BandwidthExceededError(SimulationError):
+    """A protocol attempted to push more words over an edge than the model allows."""
+
+
+class ProtocolError(SimulationError):
+    """A distributed protocol reached an inconsistent local state."""
+
+
+class ConvergenceError(SimulationError):
+    """A protocol failed to terminate within its proven round bound."""
+
+
+class FragmentError(ReproError):
+    """An MST fragment or forest violates a structural invariant."""
+
+
+class VerificationError(ReproError):
+    """A verification check failed (wrong MST, broken invariant, bound violation)."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm was configured with invalid parameters."""

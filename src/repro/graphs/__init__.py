@@ -1,0 +1,69 @@
+"""Weighted-graph substrate: generators, weight schemes, properties, IO.
+
+All graphs in this package are undirected, connected
+:class:`networkx.Graph` instances whose edges carry a ``weight``
+attribute.  Generators guarantee connectivity, and
+:func:`repro.graphs.weights.assign_unique_weights` makes the MST unique,
+matching the paper's (standard, w.l.o.g.) uniqueness assumption.
+"""
+
+from .generators import (
+    GraphSpec,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hub_path_graph,
+    lollipop_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_connected_graph,
+    random_regular_connected_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+    make_graph,
+)
+from .weights import (
+    assign_random_unique_weights,
+    assign_unique_weights,
+    ensure_unique_weights,
+    weights_are_unique,
+)
+from .properties import (
+    GraphSummary,
+    graph_summary,
+    hop_diameter,
+    is_connected_weighted,
+    validate_weighted_graph,
+)
+from .io import read_edge_list, write_edge_list
+
+__all__ = [
+    "GraphSpec",
+    "barbell_graph",
+    "complete_graph",
+    "cycle_graph",
+    "grid_graph",
+    "hub_path_graph",
+    "lollipop_graph",
+    "path_graph",
+    "random_connected_graph",
+    "random_geometric_connected_graph",
+    "random_regular_connected_graph",
+    "random_tree",
+    "star_graph",
+    "torus_graph",
+    "make_graph",
+    "assign_random_unique_weights",
+    "assign_unique_weights",
+    "ensure_unique_weights",
+    "weights_are_unique",
+    "GraphSummary",
+    "graph_summary",
+    "hop_diameter",
+    "is_connected_weighted",
+    "validate_weighted_graph",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,50 @@
+"""Edge-list IO for weighted graphs.
+
+The format is a plain text file with one edge per line,
+``u v weight``, plus optional ``# comment`` lines.  Isolated vertices are
+not representable (the algorithms require connected graphs anyway).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import networkx as nx
+
+from ..exceptions import GraphError
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: nx.Graph, path: PathLike) -> None:
+    """Write ``graph`` as a ``u v weight`` edge list, sorted for reproducibility."""
+    lines = ["# repro weighted edge list", f"# n={graph.number_of_nodes()} m={graph.number_of_edges()}"]
+    for u, v, data in sorted(graph.edges(data=True), key=lambda item: (min(item[0], item[1]), max(item[0], item[1]))):
+        if "weight" not in data:
+            raise GraphError(f"edge ({u}, {v}) has no weight; cannot serialise")
+        a, b = (u, v) if u <= v else (v, u)
+        lines.append(f"{a} {b} {data['weight']!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: PathLike) -> nx.Graph:
+    """Read a ``u v weight`` edge list written by :func:`write_edge_list`."""
+    graph = nx.Graph()
+    text = Path(path).read_text(encoding="utf-8")
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphError(f"{path}:{line_number}: expected 'u v weight', got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            weight = float(parts[2])
+        except ValueError as exc:
+            raise GraphError(f"{path}:{line_number}: cannot parse {line!r}") from exc
+        graph.add_edge(u, v, weight=weight)
+    if graph.number_of_nodes() == 0:
+        raise GraphError(f"{path}: no edges found")
+    return graph

@@ -1,0 +1,104 @@
+"""Graph property helpers: hop-diameter, validation, summaries.
+
+The paper's bounds are parameterised by ``n`` (vertices), ``m`` (edges)
+and ``D`` (the hop-diameter, i.e. the diameter of the unweighted graph).
+:func:`graph_summary` collects those once per experiment so benchmarks
+and verification share identical values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..exceptions import DisconnectedGraphError, GraphError, WeightError
+from .weights import weights_are_unique
+
+
+def is_connected_weighted(graph: nx.Graph) -> bool:
+    """Return True when ``graph`` is non-empty, connected, and fully weighted."""
+    if graph.number_of_nodes() == 0:
+        return False
+    if not nx.is_connected(graph):
+        return False
+    return all("weight" in data for _, _, data in graph.edges(data=True))
+
+
+def validate_weighted_graph(graph: nx.Graph, require_unique_weights: bool = True) -> None:
+    """Raise a descriptive error unless ``graph`` is a valid algorithm input.
+
+    A valid input is a non-empty, connected, undirected graph whose edges
+    all carry a positive ``weight``; when ``require_unique_weights`` the
+    weights must also be pairwise distinct (the paper's uniqueness
+    assumption).
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphError("graph has no vertices")
+    if graph.is_directed():
+        raise GraphError("graph must be undirected")
+    if not nx.is_connected(graph):
+        raise DisconnectedGraphError(
+            f"graph is disconnected ({nx.number_connected_components(graph)} components)"
+        )
+    for u, v, data in graph.edges(data=True):
+        if "weight" not in data:
+            raise WeightError(f"edge ({u}, {v}) has no 'weight' attribute")
+        if not data["weight"] > 0:
+            raise WeightError(f"edge ({u}, {v}) has non-positive weight {data['weight']}")
+    if require_unique_weights and not weights_are_unique(graph):
+        raise WeightError(
+            "edge weights are not pairwise distinct; call ensure_unique_weights() first"
+        )
+
+
+def hop_diameter(graph: nx.Graph) -> int:
+    """Return the hop-diameter ``D`` (diameter of the unweighted graph).
+
+    A single-vertex graph has diameter 0.  Raises
+    :class:`DisconnectedGraphError` for disconnected graphs, where the
+    hop-diameter is undefined.
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphError("hop_diameter of an empty graph is undefined")
+    if graph.number_of_nodes() == 1:
+        return 0
+    if not nx.is_connected(graph):
+        raise DisconnectedGraphError("hop_diameter of a disconnected graph is undefined")
+    diameter = 0
+    for _, lengths in nx.all_pairs_shortest_path_length(graph):
+        eccentricity = max(lengths.values())
+        if eccentricity > diameter:
+            diameter = eccentricity
+    return diameter
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """The quantities that parameterise every bound in the paper."""
+
+    n: int
+    m: int
+    hop_diameter: int
+    min_weight: float
+    max_weight: float
+    total_weight: float
+
+    @property
+    def is_low_diameter(self) -> bool:
+        """True when ``D <= sqrt(n)``: the paper's small-diameter regime."""
+        return self.hop_diameter * self.hop_diameter <= self.n
+
+
+def graph_summary(graph: nx.Graph) -> GraphSummary:
+    """Compute the :class:`GraphSummary` of a validated weighted graph."""
+    validate_weighted_graph(graph, require_unique_weights=False)
+    weights = [data["weight"] for _, _, data in graph.edges(data=True)]
+    return GraphSummary(
+        n=graph.number_of_nodes(),
+        m=graph.number_of_edges(),
+        hop_diameter=hop_diameter(graph),
+        min_weight=min(weights) if weights else 0.0,
+        max_weight=max(weights) if weights else 0.0,
+        total_weight=sum(weights),
+    )

@@ -1,0 +1,33 @@
+"""Logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace and never configures the root logger; applications
+decide where the output goes.  :func:`get_logger` is a thin convenience
+wrapper so modules do not repeat the namespace prefix, and
+:func:`enable_console_logging` is used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_NAMESPACE = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace for module ``name``."""
+    if name.startswith(_NAMESPACE):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_NAMESPACE}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler to the ``repro`` logger (idempotent)."""
+    logger = logging.getLogger(_NAMESPACE)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

@@ -1,0 +1,37 @@
+"""Synchronous CONGEST(b log n) simulator.
+
+The simulator is a faithful executable model of the communication model
+the paper analyses (Section 2 of the paper):
+
+* computation proceeds in synchronous rounds;
+* in each round every vertex may send, over each incident edge and in
+  each direction, a message of at most ``b`` machine words (a word is an
+  edge weight or a vertex/fragment identity; ``b = 1`` is the standard
+  CONGEST model);
+* local computation is free;
+* the cost of an execution is its number of rounds and its total number
+  of messages.
+
+:class:`~repro.simulator.network.SyncNetwork` is the kernel (message
+queues, the round clock, bandwidth enforcement and cost accounting);
+:mod:`repro.simulator.protocol` drives per-node protocols; and
+:mod:`repro.simulator.primitives` contains the classical building blocks
+(BFS tree, tree broadcast, convergecast, pipelined upcast/downcast,
+interval labelling, neighbour exchange) that the paper composes.
+"""
+
+from .message import Message
+from .metrics import Metrics
+from .network import SyncNetwork
+from .node import NodeState
+from .protocol import NodeProtocol, ProtocolApi, run_protocol
+
+__all__ = [
+    "Message",
+    "Metrics",
+    "SyncNetwork",
+    "NodeState",
+    "NodeProtocol",
+    "ProtocolApi",
+    "run_protocol",
+]

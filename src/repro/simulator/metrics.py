@@ -1,0 +1,65 @@
+"""Round and message accounting.
+
+The two quantities the paper bounds -- the number of synchronous rounds
+and the total number of messages -- are tracked here.  A
+:class:`Metrics` instance belongs to a :class:`~repro.simulator.network.SyncNetwork`
+and is advanced by the kernel only, which keeps the accounting honest:
+algorithms cannot forget to charge a transmission because every
+transmission goes through the kernel.
+
+:meth:`Metrics.checkpoint` / :meth:`Metrics.since` allow callers to
+attribute costs to individual sub-operations (e.g. "phase 3 of Boruvka"),
+which the benchmarks and the telemetry use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..types import CostReport
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable copy of the counters at some instant."""
+
+    rounds: int
+    messages: int
+    words: int
+
+
+@dataclass
+class Metrics:
+    """Mutable counters owned by the simulator kernel."""
+
+    rounds: int = 0
+    messages: int = 0
+    words: int = 0
+    messages_by_kind: Counter = field(default_factory=Counter)
+
+    def record_round(self) -> None:
+        """Advance the round counter by one (called once per delivered round)."""
+        self.rounds += 1
+
+    def record_message(self, kind: str, words: int) -> None:
+        """Record one transmitted message carrying ``words`` machine words."""
+        self.messages += 1
+        self.words += words
+        self.messages_by_kind[kind] += 1
+
+    def checkpoint(self) -> MetricsSnapshot:
+        """Return an immutable snapshot of the current counters."""
+        return MetricsSnapshot(rounds=self.rounds, messages=self.messages, words=self.words)
+
+    def since(self, snapshot: MetricsSnapshot) -> CostReport:
+        """Return the cost accumulated since ``snapshot`` was taken."""
+        return CostReport(
+            rounds=self.rounds - snapshot.rounds,
+            messages=self.messages - snapshot.messages,
+            words=self.words - snapshot.words,
+        )
+
+    def as_report(self) -> CostReport:
+        """Return the total cost accumulated so far as a :class:`CostReport`."""
+        return CostReport(rounds=self.rounds, messages=self.messages, words=self.words)

@@ -1,0 +1,37 @@
+"""Classical CONGEST building blocks implemented as per-node protocols.
+
+These are the primitives the paper composes (see Peleg, *Distributed
+Computing: A Locality-Sensitive Approach*, chapters 3-5): BFS tree
+construction, broadcast and convergecast over rooted forests, pipelined
+upcast and downcast over a BFS tree, subtree interval labelling for
+routing, and the one-round exchange of values between graph neighbours.
+
+Every primitive charges its communication through the
+:class:`~repro.simulator.network.SyncNetwork` kernel, so the round and
+message totals of an algorithm are the sums of what its primitives
+actually did.
+"""
+
+from .trees import RootedForest
+from .bfs import BFSTree, build_bfs_tree
+from .broadcast import forest_broadcast
+from .convergecast import ConvergecastResult, forest_convergecast
+from .neighbor_exchange import neighbor_exchange
+from .flooding import flood_value
+from .intervals import IntervalRouting, assign_intervals
+from .pipeline import pipelined_downcast, pipelined_upcast
+
+__all__ = [
+    "RootedForest",
+    "BFSTree",
+    "build_bfs_tree",
+    "forest_broadcast",
+    "ConvergecastResult",
+    "forest_convergecast",
+    "neighbor_exchange",
+    "flood_value",
+    "IntervalRouting",
+    "assign_intervals",
+    "pipelined_downcast",
+    "pipelined_upcast",
+]

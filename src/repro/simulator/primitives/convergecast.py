@@ -1,0 +1,135 @@
+"""Convergecast (bottom-up aggregation) over a rooted forest.
+
+Every vertex holds a local value; an associative combiner folds the
+values of each tree towards its root.  This primitive implements the
+paper's per-fragment computations: the minimum-weight outgoing edge of a
+fragment, subtree sizes for the interval labelling, and the "does my
+subtree still contain an unmatched child" predicate of the maximal
+matching procedure.  All trees of the forest aggregate in parallel, so
+the cost is O(max tree height) rounds and exactly one message per
+non-root vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from ...exceptions import ProtocolError
+from ...types import VertexId
+from ..message import Message
+from ..network import SyncNetwork
+from ..node import NodeState
+from ..protocol import NodeProtocol, ProtocolApi, run_protocol
+from .trees import RootedForest
+
+Combiner = Callable[[Any, Any], Any]
+
+
+@dataclass
+class ConvergecastResult:
+    """Output of a convergecast.
+
+    Attributes:
+        root_values: aggregate of every tree, keyed by its root.
+        per_vertex: aggregate of the subtree of every vertex (the value
+            the vertex sent, or would send, to its parent).
+        child_values: for every vertex, the aggregate received from each
+            of its children; used e.g. by the interval labelling, where a
+            parent must know the subtree size of each child separately.
+    """
+
+    root_values: Dict[VertexId, Any]
+    per_vertex: Dict[VertexId, Any]
+    child_values: Dict[VertexId, Dict[VertexId, Any]]
+
+
+class _ForestConvergecastProtocol(NodeProtocol):
+    """Bottom-up aggregation with an associative combiner (one word per value)."""
+
+    name = "cvgc"
+
+    def __init__(
+        self,
+        network: SyncNetwork,
+        forest: RootedForest,
+        values: Dict[VertexId, Any],
+        combiner: Combiner,
+    ) -> None:
+        super().__init__(forest.vertices)
+        missing = [v for v in self.participants if v not in values]
+        if missing:
+            raise ProtocolError(
+                f"forest_convergecast: {len(missing)} vertices have no input value, e.g. {missing[0]}"
+            )
+        for child, parent in forest.edges():
+            if not network.has_edge(child, parent):
+                raise ProtocolError(
+                    f"forest_convergecast: tree edge ({child}, {parent}) is not a graph edge"
+                )
+        self._forest = forest
+        self._combiner = combiner
+        self._accumulated: Dict[VertexId, Any] = dict(values)
+        self._expected: Dict[VertexId, int] = {
+            v: len(forest.children[v]) for v in self.participants
+        }
+        self._received_from: Dict[VertexId, Dict[VertexId, Any]] = {
+            v: {} for v in self.participants
+        }
+        self._sent: set[VertexId] = set()
+
+    def _maybe_send_up(self, vertex: VertexId, api: ProtocolApi) -> None:
+        if vertex in self._sent:
+            return
+        if len(self._received_from[vertex]) < self._expected[vertex]:
+            return
+        self._sent.add(vertex)
+        parent = self._forest.parent[vertex]
+        if parent is not None:
+            api.send(vertex, parent, "aggregate", payload=(self._accumulated[vertex],), words=1)
+        api.finish(vertex)
+
+    def on_start(self, vertex: VertexId, node: NodeState, api: ProtocolApi) -> None:
+        self._maybe_send_up(vertex, api)
+
+    def on_round(
+        self, vertex: VertexId, node: NodeState, api: ProtocolApi, inbox: List[Message]
+    ) -> None:
+        for message in inbox:
+            if not message.kind.endswith(":aggregate"):
+                continue
+            if message.sender in self._received_from[vertex]:
+                raise ProtocolError(
+                    f"vertex {vertex} received two aggregates from child {message.sender}"
+                )
+            child_value = message.payload[0]
+            self._received_from[vertex][message.sender] = child_value
+            self._accumulated[vertex] = self._combiner(self._accumulated[vertex], child_value)
+        self._maybe_send_up(vertex, api)
+
+    def result(self, network: SyncNetwork) -> ConvergecastResult:
+        unfinished = [v for v in self.participants if v not in self._sent]
+        if unfinished:
+            raise ProtocolError(f"convergecast incomplete at {len(unfinished)} vertices")
+        root_values = {root: self._accumulated[root] for root in self._forest.roots}
+        return ConvergecastResult(
+            root_values=root_values,
+            per_vertex=dict(self._accumulated),
+            child_values=self._received_from,
+        )
+
+
+def forest_convergecast(
+    network: SyncNetwork,
+    forest: RootedForest,
+    values: Dict[VertexId, Any],
+    combiner: Combiner,
+) -> ConvergecastResult:
+    """Aggregate ``values`` towards the root of every tree of ``forest``.
+
+    ``combiner`` must be associative and commutative and its results must
+    fit in O(1) words (e.g. ``min``, ``+``, logical or).  Cost: at most
+    ``height(forest) + 1`` rounds and one message per non-root vertex.
+    """
+    protocol = _ForestConvergecastProtocol(network, forest, values, combiner)
+    return run_protocol(network, protocol)

@@ -1,0 +1,148 @@
+"""Rooted forests: the shared tree representation used by the primitives.
+
+A :class:`RootedForest` is a set of vertex-disjoint rooted trees given by
+parent pointers.  BFS trees, MST fragment trees and the auxiliary tree
+``tau`` of the paper are all instances; the broadcast, convergecast and
+pipelining primitives operate on any of them.  The structure is validated
+eagerly (no cycles, parents are present, edges are consistent) because a
+malformed forest would silently corrupt cost accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...exceptions import ProtocolError
+from ...types import VertexId
+
+
+@dataclass
+class RootedForest:
+    """A forest described by parent pointers.
+
+    Attributes:
+        parent: maps every vertex of the forest to its parent, or ``None``
+            for roots.  The key set defines the vertex set of the forest.
+    """
+
+    parent: Dict[VertexId, Optional[VertexId]]
+    children: Dict[VertexId, Tuple[VertexId, ...]] = field(init=False)
+    roots: Tuple[VertexId, ...] = field(init=False)
+    depth: Dict[VertexId, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.parent:
+            raise ProtocolError("a rooted forest needs at least one vertex")
+        children: Dict[VertexId, List[VertexId]] = defaultdict(list)
+        roots: List[VertexId] = []
+        for vertex, parent in self.parent.items():
+            if parent is None:
+                roots.append(vertex)
+                continue
+            if parent not in self.parent:
+                raise ProtocolError(
+                    f"vertex {vertex} has parent {parent} which is not in the forest"
+                )
+            if parent == vertex:
+                raise ProtocolError(f"vertex {vertex} is its own parent")
+            children[parent].append(vertex)
+        if not roots:
+            raise ProtocolError("forest has no roots (parent pointers form a cycle)")
+        self.children = {v: tuple(sorted(children.get(v, ()))) for v in self.parent}
+        self.roots = tuple(sorted(roots))
+
+        # Depth by BFS from the roots; detects unreachable vertices (cycles).
+        depth: Dict[VertexId, int] = {}
+        queue: deque[VertexId] = deque()
+        for root in self.roots:
+            depth[root] = 0
+            queue.append(root)
+        while queue:
+            vertex = queue.popleft()
+            for child in self.children[vertex]:
+                depth[child] = depth[vertex] + 1
+                queue.append(child)
+        if len(depth) != len(self.parent):
+            missing = set(self.parent) - set(depth)
+            raise ProtocolError(
+                f"{len(missing)} vertices unreachable from any root (cycle?), e.g. {next(iter(missing))}"
+            )
+        self.depth = depth
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vertices(self) -> Tuple[VertexId, ...]:
+        """Vertices of the forest in sorted order."""
+        return tuple(sorted(self.parent))
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the forest."""
+        return len(self.parent)
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over all vertices (0 for a forest of singletons)."""
+        return max(self.depth.values())
+
+    def is_root(self, vertex: VertexId) -> bool:
+        """True when ``vertex`` is a root of its tree."""
+        return self.parent[vertex] is None
+
+    def is_leaf(self, vertex: VertexId) -> bool:
+        """True when ``vertex`` has no children."""
+        return not self.children[vertex]
+
+    def root_of(self, vertex: VertexId) -> VertexId:
+        """Root of the tree containing ``vertex``."""
+        current = vertex
+        while self.parent[current] is not None:
+            current = self.parent[current]
+        return current
+
+    def tree_vertices(self, root: VertexId) -> List[VertexId]:
+        """All vertices of the tree rooted at ``root``, in BFS order."""
+        if root not in self.parent or self.parent[root] is not None:
+            raise ProtocolError(f"{root} is not a root of this forest")
+        order: List[VertexId] = []
+        queue: deque[VertexId] = deque([root])
+        while queue:
+            vertex = queue.popleft()
+            order.append(vertex)
+            queue.extend(self.children[vertex])
+        return order
+
+    def path_to_root(self, vertex: VertexId) -> List[VertexId]:
+        """Vertices on the path from ``vertex`` up to (and including) its root."""
+        path = [vertex]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def edges(self) -> List[Tuple[VertexId, VertexId]]:
+        """Tree edges as (child, parent) pairs."""
+        return [(v, p) for v, p in self.parent.items() if p is not None]
+
+    def bottom_up_order(self) -> List[VertexId]:
+        """Vertices sorted by decreasing depth (children before parents)."""
+        return sorted(self.parent, key=lambda v: -self.depth[v])
+
+    def top_down_order(self) -> List[VertexId]:
+        """Vertices sorted by increasing depth (parents before children)."""
+        return sorted(self.parent, key=lambda v: self.depth[v])
+
+    @staticmethod
+    def single_tree(parent: Dict[VertexId, Optional[VertexId]]) -> "RootedForest":
+        """Build a forest and check that it consists of exactly one tree."""
+        forest = RootedForest(parent=dict(parent))
+        if len(forest.roots) != 1:
+            raise ProtocolError(f"expected a single tree, found {len(forest.roots)} roots")
+        return forest
+
+    @staticmethod
+    def from_parent_pairs(pairs: Iterable[Tuple[VertexId, Optional[VertexId]]]) -> "RootedForest":
+        """Build a forest from (vertex, parent-or-None) pairs."""
+        return RootedForest(parent=dict(pairs))

@@ -1,0 +1,171 @@
+"""Per-node protocol abstraction and the synchronous round driver.
+
+A :class:`NodeProtocol` describes what every participating vertex does in
+each round: an initialisation step (:meth:`NodeProtocol.on_start`) and a
+per-round step (:meth:`NodeProtocol.on_round`) that receives the messages
+delivered to the vertex at the beginning of the round.  The driver
+(:func:`run_protocol`) executes the protocol on a
+:class:`~repro.simulator.network.SyncNetwork`, advancing the global clock
+once per round, until every participant has declared itself finished and
+no messages remain in flight.
+
+Protocols keep their per-vertex variables in the vertex's scratch space
+(:meth:`~repro.simulator.node.NodeState.scratch`), so composed protocols
+do not interfere with one another.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import ConvergenceError, ProtocolError
+from ..types import VertexId
+from .message import Message
+from .network import SyncNetwork
+from .node import NodeState
+
+
+class ProtocolApi:
+    """Restricted view of the network handed to protocol callbacks.
+
+    Protocols use it to send messages and to mark vertices as finished;
+    they never touch the kernel's queues or counters directly.
+    """
+
+    def __init__(self, network: SyncNetwork, protocol_name: str) -> None:
+        self._network = network
+        self._protocol_name = protocol_name
+        self._finished: Set[VertexId] = set()
+
+    @property
+    def bandwidth(self) -> int:
+        """The ``b`` of the CONGEST(b log n) model."""
+        return self._network.bandwidth
+
+    def send(
+        self,
+        sender: VertexId,
+        receiver: VertexId,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+        words: int = 1,
+    ) -> None:
+        """Send a message from ``sender`` to its neighbour ``receiver``."""
+        self._network.send(sender, receiver, f"{self._protocol_name}:{kind}", payload, words)
+
+    def remaining_capacity(self, sender: VertexId, receiver: VertexId) -> int:
+        """Words still available this round on the directed edge ``sender -> receiver``."""
+        return self._network.remaining_capacity(sender, receiver)
+
+    def node(self, vertex: VertexId) -> NodeState:
+        """Local state of ``vertex`` (protocols must only touch the current vertex)."""
+        return self._network.node(vertex)
+
+    def finish(self, vertex: VertexId) -> None:
+        """Declare that ``vertex`` has completed its part of the protocol."""
+        self._finished.add(vertex)
+
+    def unfinish(self, vertex: VertexId) -> None:
+        """Re-activate a vertex (used when a new message re-engages it)."""
+        self._finished.discard(vertex)
+
+    def is_finished(self, vertex: VertexId) -> bool:
+        """True when ``vertex`` has declared completion."""
+        return vertex in self._finished
+
+    def finished_count(self) -> int:
+        """Number of vertices that have declared completion."""
+        return len(self._finished)
+
+
+class NodeProtocol(abc.ABC):
+    """Base class for synchronous per-node protocols.
+
+    Subclasses define ``name`` (used to namespace scratch space and
+    message kinds), the set of participating vertices, the two callbacks,
+    and a :meth:`result` extractor that assembles the protocol's output
+    after the driver stops.
+    """
+
+    #: short identifier; must be unique among concurrently-run protocols
+    name: str = "protocol"
+
+    def __init__(self, participants: Iterable[VertexId]) -> None:
+        self.participants: Tuple[VertexId, ...] = tuple(sorted(set(participants)))
+        if not self.participants:
+            raise ProtocolError(f"{type(self).__name__} needs at least one participant")
+
+    def max_rounds_hint(self, network: SyncNetwork) -> int:
+        """Upper bound on rounds; exceeding it raises :class:`ConvergenceError`.
+
+        The default is intentionally generous (it exists to catch
+        non-terminating protocol bugs, not to enforce the theorems; the
+        theorem bounds are checked separately by the verification layer).
+        """
+        return 20 * (network.n + network.m) + 100
+
+    @abc.abstractmethod
+    def on_start(self, vertex: VertexId, node: NodeState, api: ProtocolApi) -> None:
+        """Initialisation before the first round (may send messages)."""
+
+    @abc.abstractmethod
+    def on_round(
+        self, vertex: VertexId, node: NodeState, api: ProtocolApi, inbox: List[Message]
+    ) -> None:
+        """One synchronous round at ``vertex`` with the freshly delivered ``inbox``."""
+
+    @abc.abstractmethod
+    def result(self, network: SyncNetwork) -> Any:
+        """Assemble the protocol output after termination."""
+
+
+def run_protocol(
+    network: SyncNetwork,
+    protocol: NodeProtocol,
+    max_rounds: Optional[int] = None,
+) -> Any:
+    """Execute ``protocol`` on ``network`` until quiescence and return its result.
+
+    Termination condition: every participant has called
+    :meth:`ProtocolApi.finish` *and* no messages are in flight.  Each
+    delivered batch of messages advances the global round clock by one,
+    so the rounds charged to the enclosing execution are exactly the
+    rounds this protocol used.
+    """
+    api = ProtocolApi(network, protocol.name)
+    limit = max_rounds if max_rounds is not None else protocol.max_rounds_hint(network)
+
+    for vertex in protocol.participants:
+        protocol.on_start(vertex, network.node(vertex), api)
+
+    rounds_used = 0
+    while True:
+        all_done = api.finished_count() == len(protocol.participants)
+        if all_done and network.pending_count() == 0:
+            break
+        if rounds_used >= limit:
+            raise ConvergenceError(
+                f"protocol {protocol.name!r} did not terminate within {limit} rounds "
+                f"({api.finished_count()}/{len(protocol.participants)} vertices finished, "
+                f"{network.pending_count()} messages pending)"
+            )
+        inboxes = network.deliver_round()
+        rounds_used += 1
+        for vertex in protocol.participants:
+            inbox = inboxes.get(vertex, [])
+            if api.is_finished(vertex) and not inbox:
+                continue
+            protocol.on_round(vertex, network.node(vertex), api, inbox)
+
+    outcome = protocol.result(network)
+    for vertex in protocol.participants:
+        network.node(vertex).clear_scratch(protocol.name)
+    return outcome
+
+
+def run_protocols_sequentially(
+    network: SyncNetwork, protocols: Iterable[NodeProtocol]
+) -> List[Any]:
+    """Run several protocols one after another, returning their results in order."""
+    return [run_protocol(network, protocol) for protocol in protocols]

@@ -1,0 +1,42 @@
+"""Verification layer: MST correctness, forest invariants, complexity bounds.
+
+These checks are what turn the simulator's measurements into a
+reproduction: every algorithm run can be validated against independent
+oracles (networkx, Kruskal, Prim), every intermediate forest against the
+structural lemmas of the paper (Lemmas 4.1/4.2), and every cost report
+against the theorem bounds with explicit constants.
+"""
+
+from .mst_checks import (
+    assert_same_mst,
+    assert_spanning_tree,
+    reference_mst,
+    verify_mst_result,
+)
+from .forest_checks import (
+    assert_alpha_beta_forest,
+    assert_forest_coarsens,
+    assert_fragments_are_mst_subtrees,
+    assert_valid_mst_forest,
+)
+from .complexity_checks import (
+    assert_controlled_ghs_bounds,
+    assert_elkin_bounds,
+    elkin_message_bound,
+    elkin_time_bound,
+)
+
+__all__ = [
+    "assert_same_mst",
+    "assert_spanning_tree",
+    "reference_mst",
+    "verify_mst_result",
+    "assert_alpha_beta_forest",
+    "assert_forest_coarsens",
+    "assert_fragments_are_mst_subtrees",
+    "assert_valid_mst_forest",
+    "assert_controlled_ghs_bounds",
+    "assert_elkin_bounds",
+    "elkin_message_bound",
+    "elkin_time_bound",
+]

@@ -1,0 +1,77 @@
+"""Complexity-bound checks: measured cost versus theorem bounds.
+
+These checks compare what the simulator measured for one run against the
+bound formulas of :mod:`repro.analysis.bounds`.  They are used in three
+places: the optional ``strict_bounds`` mode of
+:func:`repro.core.elkin_mst.compute_mst`, the integration tests, and the
+benchmark harness (where a violated bound marks a row as a reproduction
+failure rather than silently reporting a number).
+"""
+
+from __future__ import annotations
+
+from ..analysis.bounds import (
+    controlled_ghs_message_bound,
+    controlled_ghs_time_bound,
+    elkin_message_bound_formula,
+    elkin_time_bound_formula,
+)
+from ..core.controlled_ghs import ControlledGHSResult
+from ..core.results import MSTRunResult
+from ..exceptions import VerificationError
+from ..types import CostReport
+
+
+def elkin_time_bound(result: MSTRunResult, constant: float = 24.0) -> float:
+    """The Theorem 3.2 round bound evaluated for ``result``'s instance.
+
+    The BFS depth recorded on the result is used as the diameter term; it
+    is at most ``D``, so the bound is evaluated conservatively (a run that
+    passes with the BFS depth would also pass with the true ``D``).  The
+    default constant doubles the calibrated one to absorb that the BFS
+    depth may be as small as ``D / 2``.
+    """
+    diameter_term = int(result.details.get("bfs_depth", 0))
+    return elkin_time_bound_formula(
+        result.n, diameter_term, result.bandwidth, constant=constant
+    )
+
+
+def elkin_message_bound(result: MSTRunResult, constant: float = 12.0) -> float:
+    """The Theorem 3.1/3.2 message bound evaluated for ``result``'s instance."""
+    return elkin_message_bound_formula(result.n, result.m, constant=constant)
+
+
+def assert_elkin_bounds(result: MSTRunResult) -> None:
+    """Raise :class:`VerificationError` if a run exceeded the theorem bounds."""
+    time_bound = elkin_time_bound(result)
+    if result.rounds > time_bound:
+        raise VerificationError(
+            f"round count {result.rounds} exceeds the Theorem 3.1/3.2 bound {time_bound:.0f} "
+            f"(n={result.n}, bfs_depth={result.details.get('bfs_depth')}, b={result.bandwidth})"
+        )
+    message_bound = elkin_message_bound(result)
+    if result.messages > message_bound:
+        raise VerificationError(
+            f"message count {result.messages} exceeds the Theorem 3.1/3.2 bound "
+            f"{message_bound:.0f} (n={result.n}, m={result.m})"
+        )
+
+
+def assert_controlled_ghs_bounds(
+    result: ControlledGHSResult, n: int, m: int, cost: CostReport | None = None
+) -> None:
+    """Raise :class:`VerificationError` if Controlled-GHS exceeded Theorem 4.3's bounds."""
+    measured = cost if cost is not None else result.cost
+    time_bound = controlled_ghs_time_bound(n, result.k)
+    if measured.rounds > time_bound:
+        raise VerificationError(
+            f"Controlled-GHS used {measured.rounds} rounds, exceeding the Theorem 4.3 bound "
+            f"{time_bound:.0f} (n={n}, k={result.k})"
+        )
+    message_bound = controlled_ghs_message_bound(n, m, result.k)
+    if measured.messages > message_bound:
+        raise VerificationError(
+            f"Controlled-GHS used {measured.messages} messages, exceeding the Theorem 4.3 bound "
+            f"{message_bound:.0f} (n={n}, m={m}, k={result.k})"
+        )

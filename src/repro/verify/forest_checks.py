@@ -1,0 +1,91 @@
+"""Structural checks on MST forests (the invariants of Section 4).
+
+Controlled-GHS promises an ``(n/k, O(k))``-MST forest; these helpers make
+the promise testable with explicit constants:
+
+* every fragment is a connected subtree of the graph whose edges all
+  belong to the unique MST (so the forest really is an *MST* forest);
+* fragments are vertex-disjoint and cover every vertex;
+* the fragment count is at most ``ALPHA_CONSTANT * n / k`` and every
+  strong diameter is at most ``BETA_CONSTANT * k`` (the constants follow
+  from Lemmas 4.1 and 4.2: sizes at least ``2^{t-1} >= k/2`` give at most
+  ``2n/k`` fragments, and diameters at most ``6 * 2^t <= 12k``; we keep a
+  factor-two slack on the count for the final partial phase).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..core.fragments import MSTForest
+from ..exceptions import VerificationError
+from ..types import normalize_edge
+from .mst_checks import reference_mst
+
+#: Fragment-count constant: |F| <= ALPHA_CONSTANT * n / k.
+ALPHA_CONSTANT = 4.0
+#: Fragment-diameter constant: Diam(F) <= BETA_CONSTANT * k.
+BETA_CONSTANT = 12.0
+
+
+def assert_valid_mst_forest(graph: nx.Graph, forest: MSTForest) -> None:
+    """Raise unless ``forest`` is a vertex-disjoint cover by graph subtrees."""
+    forest.assert_covers(graph.nodes())
+    for fragment_id, fragment in forest.fragments.items():
+        for u, v in fragment.tree_edges():
+            if not graph.has_edge(u, v):
+                raise VerificationError(
+                    f"fragment {fragment_id} uses ({u}, {v}) which is not a graph edge"
+                )
+
+
+def assert_fragments_are_mst_subtrees(graph: nx.Graph, forest: MSTForest) -> None:
+    """Raise unless every fragment tree edge belongs to the unique MST."""
+    assert_valid_mst_forest(graph, forest)
+    mst_edges = reference_mst(graph)
+    for fragment_id, fragment in forest.fragments.items():
+        foreign = [edge for edge in fragment.tree_edges() if edge not in mst_edges]
+        if foreign:
+            raise VerificationError(
+                f"fragment {fragment_id} contains {len(foreign)} non-MST edges, e.g. {foreign[0]}"
+            )
+
+
+def assert_alpha_beta_forest(
+    graph: nx.Graph,
+    forest: MSTForest,
+    k: int,
+    alpha_constant: float = ALPHA_CONSTANT,
+    beta_constant: float = BETA_CONSTANT,
+) -> None:
+    """Raise unless ``forest`` is an (alpha * n/k, beta * k)-MST forest.
+
+    ``k = 1`` is allowed (the forest of singletons trivially qualifies).
+    """
+    n = graph.number_of_nodes()
+    if k < 1:
+        raise VerificationError(f"k must be >= 1, got {k}")
+    assert_fragments_are_mst_subtrees(graph, forest)
+    max_fragments = max(1.0, alpha_constant * n / k)
+    if forest.count > max_fragments:
+        raise VerificationError(
+            f"forest has {forest.count} fragments, exceeding the bound "
+            f"{alpha_constant} * n / k = {max_fragments:.1f} (n={n}, k={k})"
+        )
+    max_diameter = beta_constant * k
+    worst = forest.max_diameter()
+    if worst > max_diameter:
+        raise VerificationError(
+            f"a fragment has strong diameter {worst}, exceeding the bound "
+            f"{beta_constant} * k = {max_diameter:.1f} (k={k})"
+        )
+
+
+def assert_forest_coarsens(coarser: MSTForest, finer: MSTForest) -> None:
+    """Raise unless ``coarser`` coarsens ``finer`` (every finer fragment is contained)."""
+    if not coarser.coarsens(finer):
+        raise VerificationError("forest does not coarsen the finer forest")
+    finer_edges = {normalize_edge(u, v) for u, v in finer.tree_edges()}
+    coarser_edges = {normalize_edge(u, v) for u, v in coarser.tree_edges()}
+    if not finer_edges <= coarser_edges:
+        raise VerificationError("coarser forest dropped tree edges of the finer forest")

@@ -1,0 +1,91 @@
+"""MST correctness checks against independent oracles.
+
+The paper assumes unique edge weights, under which the MST is unique, so
+correctness is exact set equality: the edges selected by a distributed
+run must equal the edges selected by networkx's Kruskal, by our own
+Kruskal and by our own Prim.  The helpers raise
+:class:`~repro.exceptions.VerificationError` with a precise description
+of the first discrepancy, which keeps property-based test failures easy
+to read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+import networkx as nx
+
+from ..baselines.kruskal import kruskal_mst
+from ..baselines.prim import prim_mst
+from ..core.results import MSTRunResult
+from ..exceptions import VerificationError
+from ..types import Edge, normalize_edges
+
+
+def reference_mst(graph: nx.Graph) -> Set[Edge]:
+    """The unique MST of ``graph`` according to networkx (canonical edges).
+
+    Also cross-checks networkx against our own Kruskal so that a bug in
+    either reference cannot silently validate a wrong distributed result.
+    """
+    nx_edges = normalize_edges(nx.minimum_spanning_edges(graph, algorithm="kruskal", data=False))
+    own_edges = kruskal_mst(graph)
+    if nx_edges != own_edges:
+        raise VerificationError(
+            "internal oracle disagreement: networkx and Kruskal produced different MSTs "
+            f"({len(nx_edges ^ own_edges)} differing edges); are the edge weights unique?"
+        )
+    return own_edges
+
+
+def assert_spanning_tree(graph: nx.Graph, edges: Iterable[Edge]) -> None:
+    """Raise unless ``edges`` forms a spanning tree of ``graph``."""
+    edge_set = normalize_edges(edges)
+    n = graph.number_of_nodes()
+    if len(edge_set) != n - 1:
+        raise VerificationError(
+            f"a spanning tree of {n} vertices needs {n - 1} edges, got {len(edge_set)}"
+        )
+    for u, v in edge_set:
+        if not graph.has_edge(u, v):
+            raise VerificationError(f"selected edge ({u}, {v}) is not an edge of the graph")
+    tree = nx.Graph()
+    tree.add_nodes_from(graph.nodes())
+    tree.add_edges_from(edge_set)
+    if not nx.is_connected(tree):
+        raise VerificationError("selected edges do not connect all vertices")
+
+
+def assert_same_mst(graph: nx.Graph, edges: Iterable[Edge]) -> None:
+    """Raise unless ``edges`` is exactly the unique MST of ``graph``."""
+    edge_set = normalize_edges(edges)
+    expected = reference_mst(graph)
+    if edge_set == expected:
+        return
+    missing = sorted(expected - edge_set)
+    extra = sorted(edge_set - expected)
+    raise VerificationError(
+        f"MST mismatch: {len(missing)} expected edges missing (e.g. {missing[:3]}), "
+        f"{len(extra)} unexpected edges selected (e.g. {extra[:3]})"
+    )
+
+
+def verify_mst_result(graph: nx.Graph, result: MSTRunResult) -> None:
+    """Full validation of a distributed run against all oracles.
+
+    Checks: the edge set is a spanning tree, equals the unique MST
+    (networkx + Kruskal + Prim), and the reported total weight matches
+    the edge set.
+    """
+    assert_spanning_tree(graph, result.edges)
+    assert_same_mst(graph, result.edges)
+    prim_edges = prim_mst(graph)
+    if normalize_edges(result.edges) != prim_edges:
+        raise VerificationError("distributed result disagrees with Prim's algorithm")
+    recomputed = sum(graph[u][v]["weight"] for u, v in result.edges)
+    if abs(recomputed - result.total_weight) > 1e-6 * max(1.0, abs(recomputed)):
+        raise VerificationError(
+            f"reported weight {result.total_weight} does not match the edge set ({recomputed})"
+        )
+    if result.cost.rounds < 0 or result.cost.messages < 0:
+        raise VerificationError("negative cost counters")

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+Graphs used here are deliberately small (tens of vertices): every
+distributed run simulates each round explicitly, and the suite aims for
+breadth (many behaviours and invariants) rather than large instances --
+the benchmarks cover the scaling story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.simulator.network import SyncNetwork
+
+
+@pytest.fixture
+def small_random_graph():
+    """A 40-vertex sparse random connected graph (low diameter)."""
+    return random_connected_graph(40, seed=11)
+
+
+@pytest.fixture
+def medium_random_graph():
+    """An 80-vertex random connected graph used by integration tests."""
+    return random_connected_graph(80, seed=5)
+
+
+@pytest.fixture
+def small_path_graph():
+    """A 30-vertex path (the extreme high-diameter case)."""
+    return path_graph(30, seed=3)
+
+
+@pytest.fixture
+def small_grid_graph():
+    """A 6x6 grid (intermediate diameter)."""
+    return grid_graph(6, 6, seed=9)
+
+
+@pytest.fixture
+def small_star_graph():
+    """A 25-vertex star (diameter 2)."""
+    return star_graph(25, seed=4)
+
+
+@pytest.fixture
+def small_complete_graph():
+    """A 12-vertex complete graph (diameter 1, dense)."""
+    return complete_graph(12, seed=6)
+
+
+@pytest.fixture
+def network(small_random_graph):
+    """A CONGEST network (b = 1) over the small random graph."""
+    return SyncNetwork(small_random_graph)
+
+
+@pytest.fixture
+def path_network(small_path_graph):
+    """A CONGEST network over the small path graph."""
+    return SyncNetwork(small_path_graph)

@@ -1,0 +1,73 @@
+"""Tests for the command-line front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.algorithm == "elkin"
+        assert args.family == "random_connected"
+        assert args.bandwidth == 1
+
+    def test_compare_accepts_algorithm_list(self):
+        args = build_parser().parse_args(["compare", "--algorithms", "elkin", "gkp"])
+        assert args.algorithms == ["elkin", "gkp"]
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "dijkstra"])
+
+
+class TestMain:
+    def test_run_command_prints_verified_result(self, capsys):
+        exit_code = main(["run", "--family", "random_connected", "--n", "30", "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "graph:" in captured
+        assert "elkin" in captured
+        assert "verified" in captured
+
+    def test_run_on_grid_family(self, capsys):
+        exit_code = main(["run", "--family", "grid", "--rows", "4", "--cols", "4"])
+        assert exit_code == 0
+        assert "n=16" in capsys.readouterr().out
+
+    def test_compare_command_lists_all_algorithms(self, capsys):
+        exit_code = main(
+            ["compare", "--family", "random_connected", "--n", "25", "--seed", "1",
+             "--algorithms", "elkin", "ghs"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ghs" in captured and "elkin" in captured
+
+    def test_sweep_bandwidth_command(self, capsys):
+        exit_code = main(
+            ["sweep-bandwidth", "--family", "random_connected", "--n", "25", "--seed", "1",
+             "--bandwidths", "1", "4"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert captured.count("\n") >= 4
+
+    def test_lollipop_family_arguments(self, capsys):
+        exit_code = main(
+            ["run", "--family", "lollipop", "--clique-size", "5", "--path-length", "8",
+             "--algorithm", "gkp"]
+        )
+        assert exit_code == 0
+        assert "gkp" in capsys.readouterr().out
+
+    def test_verbose_flag(self, capsys):
+        exit_code = main(["--verbose", "run", "--family", "star", "--n", "12"])
+        assert exit_code == 0

@@ -1,0 +1,152 @@
+"""Tests for Cole-Vishkin colouring and the maximal matching procedure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.bounds import log_star
+from repro.core.cole_vishkin import cole_vishkin_coloring, validate_coloring
+from repro.core.maximal_matching import maximal_matching_from_coloring
+from repro.exceptions import ProtocolError
+
+
+def _random_forest(size, seed, root_fraction=0.2):
+    """A random rooted forest over node identities 0..size-1."""
+    rng = random.Random(seed)
+    parent = {}
+    order = list(range(size))
+    rng.shuffle(order)
+    for index, node in enumerate(order):
+        if index == 0 or rng.random() < root_fraction:
+            parent[node] = None
+        else:
+            parent[node] = order[rng.randrange(index)]
+    return parent
+
+
+class TestColeVishkin:
+    @pytest.mark.parametrize("size,seed", [(5, 1), (20, 2), (60, 3), (150, 4)])
+    def test_produces_proper_three_coloring(self, size, seed):
+        parent = _random_forest(size, seed)
+        result = cole_vishkin_coloring(parent)
+        validate_coloring(parent, result.colors)
+        assert set(result.colors.values()) <= {0, 1, 2}
+
+    def test_path_forest(self):
+        parent = {0: None}
+        for node in range(1, 50):
+            parent[node] = node - 1
+        result = cole_vishkin_coloring(parent)
+        validate_coloring(parent, result.colors)
+        assert max(result.colors.values()) <= 2
+
+    def test_iteration_count_is_log_star_like(self):
+        parent = _random_forest(200, seed=9)
+        result = cole_vishkin_coloring(parent)
+        # log*(200) = 4 (base 2); allow a small additive constant.
+        assert result.bit_reduction_iterations <= log_star(200) + 4
+        assert result.shift_down_steps <= 3
+
+    def test_custom_initial_identifiers(self):
+        parent = {10: None, 20: 10, 30: 20}
+        result = cole_vishkin_coloring(parent, initial_ids={10: 1000, 20: 2000, 30: 555})
+        validate_coloring(parent, result.colors)
+
+    def test_exchange_callback_called_once_per_exchange(self):
+        parent = _random_forest(80, seed=5)
+        calls = []
+        result = cole_vishkin_coloring(parent, on_exchange=lambda colors: calls.append(len(colors)))
+        assert len(calls) == result.exchanges
+        assert all(count == len(parent) for count in calls)
+
+    def test_single_node_forest(self):
+        result = cole_vishkin_coloring({42: None})
+        assert result.colors == {42: 0} or result.colors[42] in (0, 1, 2)
+
+    def test_two_colored_input_terminates_quickly(self):
+        parent = {0: None, 1: 0}
+        result = cole_vishkin_coloring(parent, initial_ids={0: 0, 1: 1})
+        assert result.exchanges == 0
+        validate_coloring(parent, result.colors)
+
+    def test_rejects_duplicate_identifiers(self):
+        with pytest.raises(ProtocolError):
+            cole_vishkin_coloring({0: None, 1: 0}, initial_ids={0: 3, 1: 3})
+
+    def test_rejects_negative_identifiers(self):
+        with pytest.raises(ProtocolError):
+            cole_vishkin_coloring({0: None, 1: 0}, initial_ids={0: -1, 1: 2})
+
+    def test_rejects_unknown_parent(self):
+        with pytest.raises(ProtocolError):
+            cole_vishkin_coloring({0: 5})
+
+    def test_rejects_empty_forest(self):
+        with pytest.raises(ProtocolError):
+            cole_vishkin_coloring({})
+
+    def test_validate_coloring_detects_conflicts(self):
+        with pytest.raises(ProtocolError):
+            validate_coloring({0: None, 1: 0}, {0: 1, 1: 1})
+        with pytest.raises(ProtocolError):
+            validate_coloring({0: None, 1: 0}, {0: 1})
+
+
+class TestMaximalMatching:
+    @pytest.mark.parametrize("size,seed", [(10, 1), (40, 2), (120, 3)])
+    def test_matching_is_valid_and_maximal(self, size, seed):
+        parent = _random_forest(size, seed)
+        coloring = cole_vishkin_coloring(parent)
+        matching = maximal_matching_from_coloring(parent, coloring.colors)
+        matched = set()
+        for edge in matching:
+            a, b = tuple(edge)
+            # Every matching edge is a forest edge.
+            assert parent.get(a) == b or parent.get(b) == a
+            assert a not in matched and b not in matched
+            matched.update(edge)
+        # Maximality: no forest edge joins two unmatched nodes.
+        for node, parent_node in parent.items():
+            if parent_node is None:
+                continue
+            assert node in matched or parent_node in matched
+
+    def test_star_forest_matches_exactly_one_child(self):
+        parent = {0: None, 1: 0, 2: 0, 3: 0, 4: 0}
+        coloring = cole_vishkin_coloring(parent)
+        matching = maximal_matching_from_coloring(parent, coloring.colors)
+        assert len(matching) == 1
+        assert any(0 in edge for edge in matching)
+
+    def test_isolated_nodes_stay_unmatched(self):
+        parent = {0: None, 1: None, 2: None}
+        matching = maximal_matching_from_coloring(parent, {0: 0, 1: 1, 2: 2})
+        assert matching == set()
+
+    def test_on_step_called_three_times(self):
+        parent = _random_forest(30, seed=4)
+        coloring = cole_vishkin_coloring(parent)
+        steps = []
+        maximal_matching_from_coloring(
+            parent, coloring.colors, on_step=lambda step, matching: steps.append(step)
+        )
+        assert steps == [0, 1, 2]
+
+    def test_rejects_colors_out_of_range(self):
+        parent = {0: None, 1: 0}
+        with pytest.raises(ProtocolError):
+            maximal_matching_from_coloring(parent, {0: 0, 1: 5})
+
+    def test_rejects_improper_coloring(self):
+        parent = {0: None, 1: 0}
+        with pytest.raises(ProtocolError):
+            maximal_matching_from_coloring(parent, {0: 1, 1: 1})
+
+    def test_deterministic(self):
+        parent = _random_forest(50, seed=6)
+        coloring = cole_vishkin_coloring(parent)
+        first = maximal_matching_from_coloring(parent, coloring.colors)
+        second = maximal_matching_from_coloring(parent, coloring.colors)
+        assert first == second

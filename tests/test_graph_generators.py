@@ -1,0 +1,165 @@
+"""Tests for the graph generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    GraphSpec,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hop_diameter,
+    lollipop_graph,
+    make_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_connected_graph,
+    random_regular_connected_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+    weights_are_unique,
+)
+
+
+ALL_GENERATOR_CALLS = [
+    lambda: path_graph(17, seed=1),
+    lambda: cycle_graph(18, seed=1),
+    lambda: star_graph(15, seed=1),
+    lambda: complete_graph(9, seed=1),
+    lambda: grid_graph(4, 5, seed=1),
+    lambda: torus_graph(4, 4, seed=1),
+    lambda: random_tree(20, seed=1),
+    lambda: random_connected_graph(25, seed=1),
+    lambda: random_regular_connected_graph(16, degree=4, seed=1),
+    lambda: random_geometric_connected_graph(25, seed=1),
+    lambda: lollipop_graph(6, 10, seed=1),
+    lambda: barbell_graph(5, 6, seed=1),
+]
+
+
+@pytest.mark.parametrize("build", ALL_GENERATOR_CALLS)
+def test_every_family_is_connected_with_unique_weights(build):
+    graph = build()
+    assert nx.is_connected(graph)
+    assert weights_are_unique(graph)
+    assert sorted(graph.nodes()) == list(range(graph.number_of_nodes()))
+
+
+class TestHubPathGraph:
+    def test_low_diameter_but_path_like_mst(self):
+        from repro.graphs import hub_path_graph
+        from repro.baselines import kruskal_mst
+
+        graph = hub_path_graph(30)
+        assert nx.is_connected(graph)
+        assert weights_are_unique(graph)
+        assert hop_diameter(graph) == 2
+        mst = kruskal_mst(graph)
+        tree = nx.Graph(list(mst))
+        # The MST contains the full path, so its diameter is Theta(n).
+        assert nx.diameter(tree) >= graph.number_of_nodes() - 3
+
+    def test_rejects_tiny_n(self):
+        from repro.graphs import hub_path_graph
+
+        with pytest.raises(GraphError):
+            hub_path_graph(2)
+
+
+class TestSpecificShapes:
+    def test_path_sizes_and_diameter(self):
+        graph = path_graph(12, seed=0)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 11
+        assert hop_diameter(graph) == 11
+
+    def test_cycle_diameter(self):
+        assert hop_diameter(cycle_graph(10, seed=0)) == 5
+
+    def test_star_diameter(self):
+        assert hop_diameter(star_graph(20, seed=0)) == 2
+
+    def test_complete_graph_diameter_and_edges(self):
+        graph = complete_graph(8, seed=0)
+        assert graph.number_of_edges() == 28
+        assert hop_diameter(graph) == 1
+
+    def test_grid_diameter(self):
+        assert hop_diameter(grid_graph(3, 7, seed=0)) == 8
+
+    def test_random_tree_is_a_tree(self):
+        graph = random_tree(30, seed=2)
+        assert graph.number_of_edges() == 29
+
+    def test_lollipop_has_long_tail(self):
+        graph = lollipop_graph(5, 20, seed=0)
+        assert hop_diameter(graph) >= 20
+
+    def test_random_connected_extra_edges(self):
+        graph = random_connected_graph(30, extra_edges=10, seed=4)
+        assert graph.number_of_edges() == 29 + 10
+
+    def test_random_connected_edge_probability_one_is_complete(self):
+        graph = random_connected_graph(10, edge_probability=1.0, seed=4)
+        assert graph.number_of_edges() == 45
+
+    def test_deterministic_weights_option(self):
+        graph = path_graph(6, random_weights=False)
+        weights = sorted(data["weight"] for _, _, data in graph.edges(data=True))
+        assert weights == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_same_seed_same_graph(self):
+        first = random_connected_graph(30, seed=42)
+        second = random_connected_graph(30, seed=42)
+        assert set(first.edges()) == set(second.edges())
+
+
+class TestValidationErrors:
+    def test_path_requires_positive_n(self):
+        with pytest.raises(GraphError):
+            path_graph(0)
+
+    def test_cycle_requires_three_vertices(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_grid_rejects_zero_dimension(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_regular_graph_rejects_odd_product(self):
+        with pytest.raises(GraphError):
+            random_regular_connected_graph(7, degree=3)
+
+    def test_regular_graph_rejects_degree_too_large(self):
+        with pytest.raises(GraphError):
+            random_regular_connected_graph(5, degree=5)
+
+    def test_lollipop_rejects_tiny_clique(self):
+        with pytest.raises(GraphError):
+            lollipop_graph(1, 5)
+
+    def test_edge_probability_out_of_range(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(10, edge_probability=1.5)
+
+
+class TestGraphSpec:
+    def test_make_graph_dispatch(self):
+        graph = make_graph("path", n=9, seed=0)
+        assert graph.number_of_nodes() == 9
+
+    def test_make_graph_unknown_family(self):
+        with pytest.raises(GraphError, match="unknown graph family"):
+            make_graph("hypercube", n=8)
+
+    def test_spec_build_and_label(self):
+        spec = GraphSpec(family="grid", params={"rows": 3, "cols": 4, "seed": 1})
+        graph = spec.build()
+        assert graph.number_of_nodes() == 12
+        assert "grid" in spec.label() and "rows=3" in spec.label()

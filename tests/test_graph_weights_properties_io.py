@@ -1,0 +1,180 @@
+"""Tests for weight assignment, graph properties and edge-list IO."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import DisconnectedGraphError, GraphError, WeightError
+from repro.graphs import (
+    assign_random_unique_weights,
+    assign_unique_weights,
+    ensure_unique_weights,
+    graph_summary,
+    hop_diameter,
+    is_connected_weighted,
+    path_graph,
+    random_connected_graph,
+    read_edge_list,
+    validate_weighted_graph,
+    weights_are_unique,
+    write_edge_list,
+)
+from repro.baselines import kruskal_mst
+
+
+def _unweighted_triangle():
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (1, 2), (0, 2)])
+    return graph
+
+
+class TestWeightAssignment:
+    def test_assign_unique_weights_is_deterministic(self):
+        first = assign_unique_weights(_unweighted_triangle())
+        second = assign_unique_weights(_unweighted_triangle())
+        assert [first[u][v]["weight"] for u, v in sorted(first.edges())] == [
+            second[u][v]["weight"] for u, v in sorted(second.edges())
+        ]
+
+    def test_assign_unique_weights_rejects_bad_step(self):
+        with pytest.raises(WeightError):
+            assign_unique_weights(_unweighted_triangle(), step=0)
+
+    def test_random_weights_are_unique_and_in_range(self):
+        graph = assign_random_unique_weights(_unweighted_triangle(), seed=1, low=10, high=20)
+        assert weights_are_unique(graph)
+        assert all(10 <= data["weight"] < 20 for _, _, data in graph.edges(data=True))
+
+    def test_random_weights_reject_bad_range(self):
+        with pytest.raises(WeightError):
+            assign_random_unique_weights(_unweighted_triangle(), low=5, high=5)
+
+    def test_weights_are_unique_detects_duplicates(self):
+        graph = _unweighted_triangle()
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        assert not weights_are_unique(graph)
+
+    def test_weights_are_unique_detects_missing(self):
+        assert not weights_are_unique(_unweighted_triangle())
+
+    def test_ensure_unique_preserves_mst_under_tie_breaking(self):
+        graph = _unweighted_triangle()
+        graph[0][1]["weight"] = 1.0
+        graph[1][2]["weight"] = 1.0
+        graph[0][2]["weight"] = 1.0
+        ensure_unique_weights(graph)
+        assert weights_are_unique(graph)
+        # Lexicographically smallest edges win: (0,1) and (0,2).
+        assert kruskal_mst(graph) == {(0, 1), (0, 2)}
+
+    def test_ensure_unique_requires_weights(self):
+        with pytest.raises(WeightError):
+            ensure_unique_weights(_unweighted_triangle())
+
+
+class TestProperties:
+    def test_hop_diameter_of_known_graphs(self):
+        assert hop_diameter(path_graph(10, seed=0)) == 9
+        single = nx.Graph()
+        single.add_node(0)
+        assert hop_diameter(single) == 0
+
+    def test_hop_diameter_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1.0)
+        graph.add_edge(2, 3, weight=2.0)
+        with pytest.raises(DisconnectedGraphError):
+            hop_diameter(graph)
+
+    def test_hop_diameter_rejects_empty(self):
+        with pytest.raises(GraphError):
+            hop_diameter(nx.Graph())
+
+    def test_validate_accepts_generated_graph(self):
+        validate_weighted_graph(random_connected_graph(20, seed=1))
+
+    def test_validate_rejects_missing_weight(self):
+        with pytest.raises(WeightError):
+            validate_weighted_graph(_unweighted_triangle())
+
+    def test_validate_rejects_non_positive_weight(self):
+        graph = _unweighted_triangle()
+        graph[0][1]["weight"] = -1.0
+        graph[1][2]["weight"] = 2.0
+        graph[0][2]["weight"] = 3.0
+        with pytest.raises(WeightError):
+            validate_weighted_graph(graph)
+
+    def test_validate_rejects_duplicate_weights_when_required(self):
+        graph = _unweighted_triangle()
+        nx.set_edge_attributes(graph, 1.0, "weight")
+        with pytest.raises(WeightError):
+            validate_weighted_graph(graph, require_unique_weights=True)
+        validate_weighted_graph(graph, require_unique_weights=False)
+
+    def test_validate_rejects_directed(self):
+        graph = nx.DiGraph()
+        graph.add_edge(0, 1, weight=1.0)
+        with pytest.raises(GraphError):
+            validate_weighted_graph(graph)
+
+    def test_is_connected_weighted(self):
+        assert is_connected_weighted(path_graph(5, seed=0))
+        assert not is_connected_weighted(nx.Graph())
+        assert not is_connected_weighted(_unweighted_triangle())
+
+    def test_graph_summary_fields(self):
+        graph = path_graph(8, seed=0, random_weights=False)
+        summary = graph_summary(graph)
+        assert summary.n == 8
+        assert summary.m == 7
+        assert summary.hop_diameter == 7
+        assert summary.min_weight == 1.0
+        assert summary.max_weight == 7.0
+        assert summary.total_weight == pytest.approx(28.0)
+        assert not summary.is_low_diameter
+
+    def test_graph_summary_low_diameter_flag(self):
+        assert graph_summary(random_connected_graph(50, seed=2)).is_low_diameter
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        graph = random_connected_graph(15, seed=8)
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        from repro.types import normalize_edges
+
+        assert normalize_edges(loaded.edges()) == normalize_edges(graph.edges())
+        for u, v in graph.edges():
+            assert loaded[u][v]["weight"] == pytest.approx(graph[u][v]["weight"])
+
+    def test_write_requires_weights(self, tmp_path):
+        with pytest.raises(GraphError):
+            write_edge_list(_unweighted_triangle(), tmp_path / "bad.edges")
+
+    def test_read_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "broken.edges"
+        path.write_text("0 1 2.0\n0 garbage\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_read_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "broken.edges"
+        path.write_text("a b c\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_comments_and_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "ok.edges"
+        path.write_text("# header\n\n0 1 1.5\n1 2 2.5\n", encoding="utf-8")
+        graph = read_edge_list(path)
+        assert graph.number_of_edges() == 2

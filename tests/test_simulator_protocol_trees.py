@@ -1,0 +1,141 @@
+"""Tests for the protocol driver and the RootedForest structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConvergenceError, ProtocolError
+from repro.graphs import path_graph
+from repro.simulator.network import SyncNetwork
+from repro.simulator.protocol import NodeProtocol, run_protocol, run_protocols_sequentially
+from repro.simulator.primitives.trees import RootedForest
+
+
+class _RelayProtocol(NodeProtocol):
+    """Vertex 0 sends a token along a path; every vertex finishes on receipt."""
+
+    name = "relay"
+
+    def __init__(self, network):
+        super().__init__(network.vertices())
+        self.received_at = {}
+
+    def on_start(self, vertex, node, api):
+        if vertex == 0:
+            api.send(0, 1, "token", payload=(0,))
+            self.received_at[0] = 0
+            api.finish(0)
+
+    def on_round(self, vertex, node, api, inbox):
+        for message in inbox:
+            self.received_at[vertex] = message.payload[0] + 1
+            successor = vertex + 1
+            if successor in node.edge_weights:
+                api.send(vertex, successor, "token", payload=(self.received_at[vertex],))
+        if vertex in self.received_at:
+            api.finish(vertex)
+
+    def result(self, network):
+        return dict(self.received_at)
+
+
+class _NeverFinishesProtocol(NodeProtocol):
+    name = "stuck"
+
+    def on_start(self, vertex, node, api):
+        pass
+
+    def on_round(self, vertex, node, api, inbox):
+        pass
+
+    def result(self, network):
+        return None
+
+
+class TestProtocolDriver:
+    def test_relay_reaches_every_vertex_and_counts_rounds(self):
+        network = SyncNetwork(path_graph(6, seed=0))
+        protocol = _RelayProtocol(network)
+        hops = run_protocol(network, protocol)
+        assert hops == {vertex: vertex for vertex in range(6)}
+        # One round per hop along the path.
+        assert network.round == 5
+        assert network.metrics.messages == 5
+
+    def test_scratch_space_is_cleared_after_the_run(self):
+        network = SyncNetwork(path_graph(4, seed=0))
+        run_protocol(network, _RelayProtocol(network))
+        assert all(not network.node(v).memory for v in network.vertices())
+
+    def test_non_terminating_protocol_raises_convergence_error(self):
+        network = SyncNetwork(path_graph(3, seed=0))
+        with pytest.raises(ConvergenceError):
+            run_protocol(network, _NeverFinishesProtocol(network.vertices()), max_rounds=10)
+
+    def test_protocol_requires_participants(self):
+        with pytest.raises(ProtocolError):
+            _NeverFinishesProtocol([])
+
+    def test_sequential_composition_accumulates_costs(self):
+        network = SyncNetwork(path_graph(5, seed=0))
+        run_protocols_sequentially(network, [_RelayProtocol(network), _RelayProtocol(network)])
+        assert network.round == 8
+        assert network.metrics.messages == 8
+
+
+class TestRootedForest:
+    def test_basic_structure(self):
+        forest = RootedForest(parent={0: None, 1: 0, 2: 0, 3: 1, 4: None, 5: 4})
+        assert forest.roots == (0, 4)
+        assert forest.children[0] == (1, 2)
+        assert forest.depth[3] == 2
+        assert forest.height == 2
+        assert forest.size == 6
+        assert forest.is_root(4) and not forest.is_root(5)
+        assert forest.is_leaf(3) and not forest.is_leaf(0)
+
+    def test_root_of_and_path_to_root(self):
+        forest = RootedForest(parent={0: None, 1: 0, 2: 1, 3: 2})
+        assert forest.root_of(3) == 0
+        assert forest.path_to_root(3) == [3, 2, 1, 0]
+
+    def test_tree_vertices_in_bfs_order(self):
+        forest = RootedForest(parent={0: None, 1: 0, 2: 0, 3: 1})
+        assert forest.tree_vertices(0) == [0, 1, 2, 3]
+        with pytest.raises(ProtocolError):
+            forest.tree_vertices(1)
+
+    def test_orders(self):
+        forest = RootedForest(parent={0: None, 1: 0, 2: 1})
+        assert forest.top_down_order() == [0, 1, 2]
+        assert forest.bottom_up_order() == [2, 1, 0]
+
+    def test_edges_are_child_parent_pairs(self):
+        forest = RootedForest(parent={0: None, 1: 0})
+        assert forest.edges() == [(1, 0)]
+
+    def test_rejects_cycles(self):
+        with pytest.raises(ProtocolError):
+            RootedForest(parent={0: 1, 1: 0})
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ProtocolError):
+            RootedForest(parent={0: 0})
+
+    def test_rejects_unknown_parent(self):
+        with pytest.raises(ProtocolError):
+            RootedForest(parent={0: None, 1: 7})
+
+    def test_rejects_empty_forest(self):
+        with pytest.raises(ProtocolError):
+            RootedForest(parent={})
+
+    def test_single_tree_helper(self):
+        with pytest.raises(ProtocolError):
+            RootedForest.single_tree({0: None, 1: None})
+        tree = RootedForest.single_tree({0: None, 1: 0})
+        assert tree.roots == (0,)
+
+    def test_from_parent_pairs(self):
+        forest = RootedForest.from_parent_pairs([(0, None), (1, 0)])
+        assert forest.size == 2

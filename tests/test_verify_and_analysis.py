@@ -1,0 +1,237 @@
+"""Tests for the verification layer and the analysis utilities."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    controlled_ghs_message_bound,
+    controlled_ghs_time_bound,
+    elkin_message_bound_formula,
+    elkin_time_bound_formula,
+    ghs_time_bound,
+    gkp_message_bound,
+    log2_ceil,
+    log_star,
+    pipeline_phase_time_bound,
+)
+from repro.analysis.experiments import (
+    available_algorithms,
+    compare_algorithms,
+    run_single,
+    sweep_bandwidth,
+    sweep_graphs,
+)
+from repro.analysis.fitting import fit_power_law, ratio_series
+from repro.analysis.tables import format_table
+from repro.core.elkin_mst import compute_mst
+from repro.exceptions import ConfigurationError, ReproError, VerificationError
+from repro.graphs import GraphSpec, path_graph, random_connected_graph
+from repro.verify.complexity_checks import assert_elkin_bounds, elkin_message_bound, elkin_time_bound
+from repro.verify.forest_checks import assert_alpha_beta_forest, assert_forest_coarsens
+from repro.verify.mst_checks import (
+    assert_same_mst,
+    assert_spanning_tree,
+    reference_mst,
+    verify_mst_result,
+)
+from repro.core.fragments import MSTForest
+
+
+class TestMSTChecks:
+    def test_reference_mst_matches_kruskal(self, small_random_graph):
+        edges = reference_mst(small_random_graph)
+        assert len(edges) == small_random_graph.number_of_nodes() - 1
+
+    def test_assert_spanning_tree_detects_wrong_edge_count(self, small_random_graph):
+        edges = list(reference_mst(small_random_graph))[:-1]
+        with pytest.raises(VerificationError, match="needs"):
+            assert_spanning_tree(small_random_graph, edges)
+
+    def test_assert_spanning_tree_detects_foreign_edges(self, small_path_graph):
+        edges = set(reference_mst(small_path_graph))
+        edges.discard((0, 1))
+        edges.add((0, 29))  # not a graph edge on a path
+        with pytest.raises(VerificationError, match="not an edge"):
+            assert_spanning_tree(small_path_graph, edges)
+
+    def test_assert_same_mst_detects_swapped_edge(self, small_random_graph):
+        correct = reference_mst(small_random_graph)
+        non_tree = [
+            edge
+            for edge in (tuple(sorted(e)) for e in small_random_graph.edges())
+            if edge not in correct
+        ]
+        wrong = set(correct)
+        wrong.discard(next(iter(correct)))
+        wrong.add(non_tree[0])
+        with pytest.raises(VerificationError, match="MST mismatch"):
+            assert_same_mst(small_random_graph, wrong)
+
+    def test_verify_mst_result_detects_wrong_weight(self, small_random_graph):
+        result = compute_mst(small_random_graph)
+        broken = dataclasses.replace(result, total_weight=result.total_weight + 10.0)
+        with pytest.raises(VerificationError, match="weight"):
+            verify_mst_result(small_random_graph, broken)
+
+    def test_verify_mst_result_accepts_correct_run(self, small_random_graph):
+        verify_mst_result(small_random_graph, compute_mst(small_random_graph))
+
+
+class TestForestChecks:
+    def test_alpha_beta_rejects_too_many_fragments(self, small_random_graph):
+        forest = MSTForest.singletons(small_random_graph.nodes())
+        with pytest.raises(VerificationError, match="fragments"):
+            assert_alpha_beta_forest(small_random_graph, forest, k=40)
+
+    def test_alpha_beta_accepts_singletons_for_k_one(self, small_random_graph):
+        forest = MSTForest.singletons(small_random_graph.nodes())
+        assert_alpha_beta_forest(small_random_graph, forest, k=1)
+
+    def test_rejects_non_mst_fragment_edges(self, small_random_graph):
+        correct = reference_mst(small_random_graph)
+        non_tree = next(
+            edge
+            for edge in (tuple(sorted(e)) for e in small_random_graph.edges())
+            if edge not in correct
+        )
+        from repro.core.fragments import Fragment
+
+        fragments = {
+            vertex: Fragment.singleton(vertex)
+            for vertex in small_random_graph.nodes()
+            if vertex not in non_tree
+        }
+        merged = Fragment.from_edges(non_tree[0], [non_tree])
+        fragments[merged.fragment_id] = merged
+        forest = MSTForest(fragments=fragments)
+        with pytest.raises(VerificationError, match="non-MST"):
+            assert_alpha_beta_forest(small_random_graph, forest, k=2)
+
+    def test_coarsening_check(self):
+        fine = MSTForest.singletons(range(4))
+        coarse = fine.merge_groups([([0, 1], [(0, 1)], 0)])
+        assert_forest_coarsens(coarse, fine)
+        with pytest.raises(VerificationError):
+            assert_forest_coarsens(fine, coarse)
+
+
+class TestComplexityChecks:
+    def test_bounds_accept_real_runs(self, small_random_graph, small_path_graph):
+        for graph in (small_random_graph, small_path_graph):
+            assert_elkin_bounds(compute_mst(graph))
+
+    def test_bounds_reject_inflated_costs(self, small_random_graph):
+        result = compute_mst(small_random_graph)
+        from repro.types import CostReport
+
+        inflated = dataclasses.replace(
+            result, cost=CostReport(rounds=result.rounds * 1000, messages=result.messages)
+        )
+        with pytest.raises(VerificationError, match="round count"):
+            assert_elkin_bounds(inflated)
+        inflated = dataclasses.replace(
+            result, cost=CostReport(rounds=result.rounds, messages=result.messages * 1000)
+        )
+        with pytest.raises(VerificationError, match="message count"):
+            assert_elkin_bounds(inflated)
+
+    def test_bound_helpers_return_positive_values(self, small_random_graph):
+        result = compute_mst(small_random_graph)
+        assert elkin_time_bound(result) > 0
+        assert elkin_message_bound(result) > 0
+
+
+class TestBoundFormulas:
+    def test_log_helpers(self):
+        assert log2_ceil(1) == 1
+        assert log2_ceil(8) == 3
+        assert log2_ceil(9) == 4
+        assert log_star(2) == 1
+        # Convention: iterations of log2 until the value drops to <= 2.
+        assert log_star(16) == 2
+        assert log_star(65536) == 3
+
+    def test_bounds_are_monotone_in_n(self):
+        assert elkin_time_bound_formula(400, 10) > elkin_time_bound_formula(100, 10)
+        assert elkin_message_bound_formula(400, 1200) > elkin_message_bound_formula(100, 300)
+        assert controlled_ghs_time_bound(100, 16) > controlled_ghs_time_bound(100, 4)
+        assert controlled_ghs_message_bound(100, 500, 16) > controlled_ghs_message_bound(100, 500, 4)
+        assert gkp_message_bound(400, 1200) > gkp_message_bound(100, 300)
+        assert ghs_time_bound(400) > ghs_time_bound(100)
+        assert pipeline_phase_time_bound(400, 20, 20) > 0
+
+    def test_bandwidth_reduces_the_time_bound(self):
+        assert elkin_time_bound_formula(400, 5, bandwidth=16) < elkin_time_bound_formula(400, 5)
+
+
+class TestFitting:
+    def test_fit_recovers_known_exponent(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.01)
+        assert fit.scale == pytest.approx(3.0, rel=0.05)
+        assert fit.predict(100) == pytest.approx(3 * 100**1.5, rel=0.05)
+
+    def test_fit_rejects_bad_input(self):
+        with pytest.raises(ReproError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ReproError):
+            fit_power_law([1], [1])
+        with pytest.raises(ReproError):
+            fit_power_law([1, -2], [1, 2])
+
+    def test_ratio_series(self):
+        assert ratio_series([2, 9], [1, 3]) == [2.0, 3.0]
+        with pytest.raises(ReproError):
+            ratio_series([1], [1, 2])
+        with pytest.raises(ReproError):
+            ratio_series([1], [0])
+
+
+class TestTables:
+    def test_format_table_alignment_and_missing_values(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "-" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_float_rendering(self):
+        text = format_table([{"value": 12345.678}, {"value": 0.5}])
+        assert "1.23e+04" in text
+        assert "0.5" in text
+
+
+class TestExperimentRunners:
+    def test_available_algorithms(self):
+        assert set(available_algorithms()) == {"elkin", "ghs", "gkp", "prs"}
+
+    def test_run_single_unknown_algorithm(self, small_random_graph):
+        with pytest.raises(ConfigurationError):
+            run_single(small_random_graph, algorithm="bogus")
+
+    def test_sweep_graphs_produces_bound_ratios(self):
+        specs = [GraphSpec("random_connected", {"n": 30, "seed": 1})]
+        rows = sweep_graphs(specs, algorithm="elkin")
+        assert len(rows) == 1
+        assert rows[0]["round_ratio"] <= 1.0
+        assert rows[0]["message_ratio"] <= 1.0
+
+    def test_compare_algorithms_rows(self, small_random_graph):
+        rows = compare_algorithms(small_random_graph, algorithms=("elkin", "ghs"), label="t")
+        assert [row["algorithm"] for row in rows] == ["elkin", "ghs"]
+        assert rows[0]["weight"] == rows[1]["weight"]
+
+    def test_sweep_bandwidth_rows(self):
+        graph = random_connected_graph(40, seed=2)
+        rows = sweep_bandwidth(graph, bandwidths=(1, 4), label="bw")
+        assert [row["bandwidth"] for row in rows] == [1, 4]
+        assert rows[1]["rounds"] <= rows[0]["rounds"]
