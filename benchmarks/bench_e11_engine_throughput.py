@@ -1,0 +1,146 @@
+"""E11 (engineering): wall-clock throughput of the fast kernel.
+
+Unlike E1-E10, which reproduce the paper's complexity claims, this
+benchmark measures the simulator itself: the batched ``fast`` engine
+must beat the readable ``reference`` engine by >= 3x wall-clock on a
+message-heavy workload while reporting *identical* round / message /
+word counters (the complexity numbers may never depend on the engine).
+
+Two workloads are timed:
+
+* a kernel-level flood in the style of E4's message-heavy instances
+  (every vertex pushes one word to every neighbour, every round) --
+  this isolates the ``send`` / ``deliver_round`` hot path the fast
+  kernel batches;
+* the full paper algorithm (``compute_mst``) on an E4-style graph --
+  protocol bookkeeping dilutes the kernel share here, so the speedup is
+  smaller but must still be > 1.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from conftest import run_once
+
+from repro.core.elkin_mst import compute_mst
+from repro.config import RunConfig
+from repro.graphs import random_connected_graph
+from repro.simulator.engine import create_engine
+
+#: E4-style message-heavy instance: dense-ish random connected graph.
+N = 192
+EXTRA_EDGES = 8 * N
+FLOOD_ROUNDS = 40
+REPETITIONS = 3
+#: Hard floor for the kernel speedup assertion.  The 3x target holds on
+#: controlled hardware; shared CI runners can override it downwards
+#: (the measured ratio is always recorded in extra_info either way).
+MIN_KERNEL_SPEEDUP = float(os.environ.get("REPRO_E11_MIN_SPEEDUP", "3.0"))
+
+
+def _flood_workload(graph, send_list, engine):
+    """Every vertex sends one word to every neighbour, FLOOD_ROUNDS times."""
+    network = create_engine(graph, bandwidth=1, validate=False, engine=engine)
+    send = network.send
+    for _ in range(FLOOD_ROUNDS):
+        for sender, receiver in send_list:
+            send(sender, receiver, "flood", (sender,), 1)
+        network.deliver_round()
+    return network.total_cost()
+
+
+def _best_of(function, *args):
+    """Minimum wall-clock over REPETITIONS runs (and the last return value).
+
+    The collector is paused around each timed run: under pytest's large
+    heap, GC pauses land arbitrarily in either engine's run and would
+    otherwise dominate the comparison noise.
+    """
+    best = float("inf")
+    value = None
+    for _ in range(REPETITIONS):
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            value = function(*args)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return best, value
+
+
+def test_e11_engine_throughput(benchmark, record):
+    graph = random_connected_graph(N, extra_edges=EXTRA_EDGES, seed=1101)
+    probe = create_engine(graph, validate=False, engine="reference")
+    send_list = [
+        (vertex, neighbor)
+        for vertex in probe.vertices()
+        for neighbor in probe.node(vertex).neighbors
+    ]
+
+    def run():
+        # Warm both code paths before timing.
+        for engine in ("reference", "fast"):
+            create_engine(graph, validate=False, engine=engine)
+
+        rows = []
+        kernel = {}
+        for engine in ("reference", "fast"):
+            seconds, cost = _best_of(_flood_workload, graph, send_list, engine)
+            kernel[engine] = (seconds, cost)
+            rows.append(
+                {
+                    "workload": "kernel flood",
+                    "engine": engine,
+                    "seconds": round(seconds, 4),
+                    "rounds": cost.rounds,
+                    "messages": cost.messages,
+                    "words": cost.words,
+                }
+            )
+
+        full = {}
+        for engine in ("reference", "fast"):
+            config = RunConfig(engine=engine)
+            seconds, result = _best_of(compute_mst, graph, config)
+            full[engine] = (seconds, result)
+            rows.append(
+                {
+                    "workload": "compute_mst",
+                    "engine": engine,
+                    "seconds": round(seconds, 4),
+                    "rounds": result.rounds,
+                    "messages": result.messages,
+                    "words": result.cost.words,
+                }
+            )
+        return rows, kernel, full
+
+    rows, kernel, full = run_once(benchmark, run)
+
+    kernel_speedup = kernel["reference"][0] / kernel["fast"][0]
+    full_speedup = full["reference"][0] / full["fast"][0]
+    for row in rows:
+        row["speedup vs reference"] = round(
+            kernel_speedup if row["workload"] == "kernel flood" else full_speedup, 2
+        )
+
+    benchmark.extra_info["kernel_speedup"] = round(kernel_speedup, 3)
+    benchmark.extra_info["compute_mst_speedup"] = round(full_speedup, 3)
+    record("E11: engine throughput (fast vs reference kernel)", rows)
+
+    # The two kernels must report byte-identical counters ...
+    assert kernel["reference"][1] == kernel["fast"][1]
+    reference_result, fast_result = full["reference"][1], full["fast"][1]
+    assert reference_result.edges == fast_result.edges
+    assert reference_result.cost == fast_result.cost
+    # ... and the batched kernel must actually be fast.
+    assert kernel_speedup >= MIN_KERNEL_SPEEDUP, (
+        f"kernel speedup {kernel_speedup:.2f}x < {MIN_KERNEL_SPEEDUP}x"
+    )
+    assert full_speedup > 1.0, f"end-to-end speedup {full_speedup:.2f}x <= 1x"

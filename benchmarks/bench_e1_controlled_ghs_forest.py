@@ -9,11 +9,11 @@ the measured fragment count and maximum diameter next to the bounds
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import engine_name, run_once
 
 from repro.core.controlled_ghs import build_base_forest
 from repro.graphs import grid_graph, path_graph, random_connected_graph
-from repro.simulator.network import SyncNetwork
+from repro.simulator.engine import create_engine
 from repro.verify.forest_checks import ALPHA_CONSTANT, BETA_CONSTANT, assert_alpha_beta_forest
 
 
@@ -29,7 +29,7 @@ def test_e1_forest_shape(benchmark, record):
         rows = []
         for label, graph in instances:
             for k in ks:
-                network = SyncNetwork(graph)
+                network = create_engine(graph, engine=engine_name())
                 result = build_base_forest(network, k)
                 assert_alpha_beta_forest(graph, result.forest, k)
                 rows.append(

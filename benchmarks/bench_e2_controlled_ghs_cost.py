@@ -8,12 +8,12 @@ fixed graph and n at fixed k and report measured/bound ratios.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import engine_name, run_once
 
 from repro.analysis.bounds import controlled_ghs_message_bound, controlled_ghs_time_bound
 from repro.core.controlled_ghs import build_base_forest
 from repro.graphs import random_connected_graph
-from repro.simulator.network import SyncNetwork
+from repro.simulator.engine import create_engine
 
 
 def test_e2_cost_scaling(benchmark, record):
@@ -23,7 +23,7 @@ def test_e2_cost_scaling(benchmark, record):
         graph = random_connected_graph(240, seed=111)
         n, m = graph.number_of_nodes(), graph.number_of_edges()
         for k in (4, 8, 16, 32):
-            network = SyncNetwork(graph)
+            network = create_engine(graph, engine=engine_name())
             result = build_base_forest(network, k)
             rows.append(
                 {
@@ -40,7 +40,7 @@ def test_e2_cost_scaling(benchmark, record):
         for n in (80, 160, 320):
             graph = random_connected_graph(n, seed=112)
             m = graph.number_of_edges()
-            network = SyncNetwork(graph)
+            network = create_engine(graph, engine=engine_name())
             result = build_base_forest(network, 8)
             rows.append(
                 {

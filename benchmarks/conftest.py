@@ -11,6 +11,7 @@ be pasted into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -22,6 +23,16 @@ if _SRC.exists() and str(_SRC) not in sys.path:
 import pytest  # noqa: E402
 
 from repro.analysis.tables import format_table  # noqa: E402
+
+
+def engine_name():
+    """Simulation kernel the benchmarks run on (``REPRO_ENGINE`` env var).
+
+    Both engines report identical round/message counters (see
+    ``tests/test_engine_equivalence.py``), so the reproduction numbers
+    do not depend on this choice -- only the wall-clock does.
+    """
+    return os.environ.get("REPRO_ENGINE", "reference")
 
 
 def run_once(benchmark, function):

@@ -33,10 +33,12 @@ from .graphs.generators import (
     make_graph,
     random_connected_graph,
 )
+from .simulator.engine import Engine, available_engines, create_engine, register_engine
+from .simulator.fast_network import FastNetwork
 from .simulator.network import SyncNetwork
 from .types import CostReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RunConfig",
@@ -46,6 +48,11 @@ __all__ = [
     "GraphSpec",
     "make_graph",
     "random_connected_graph",
+    "Engine",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    "FastNetwork",
     "SyncNetwork",
     "CostReport",
     "__version__",

@@ -21,6 +21,7 @@ from ..core.elkin_mst import compute_mst
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError
 from ..graphs.generators import GraphSpec
+from ..simulator.engine import DEFAULT_ENGINE
 from ..graphs.properties import hop_diameter
 from .bounds import elkin_message_bound_formula, elkin_time_bound_formula
 
@@ -46,13 +47,14 @@ def run_single(
     bandwidth: int = 1,
     verify: bool = True,
     base_forest_k: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> MSTRunResult:
     """Run one distributed MST algorithm on ``graph`` and (optionally) verify it."""
     if algorithm not in _ALGORITHMS:
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; available: {', '.join(available_algorithms())}"
         )
-    config = RunConfig(bandwidth=bandwidth, base_forest_k=base_forest_k)
+    config = RunConfig(bandwidth=bandwidth, base_forest_k=base_forest_k, engine=engine)
     result = _ALGORITHMS[algorithm](graph, config)
     if verify:
         from ..verify.mst_checks import verify_mst_result
@@ -77,6 +79,7 @@ def sweep_graphs(
     bandwidth: int = 1,
     verify: bool = True,
     compute_diameter: bool = True,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[ExperimentRow]:
     """Run ``algorithm`` on every spec and report one row per instance.
 
@@ -90,7 +93,9 @@ def sweep_graphs(
         graph = spec.build()
         row: ExperimentRow = {"graph": spec.label()}
         row.update(_describe(graph, compute_diameter))
-        result = run_single(graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify)
+        result = run_single(
+            graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify, engine=engine
+        )
         row.update(
             {
                 "algorithm": algorithm,
@@ -123,12 +128,15 @@ def compare_algorithms(
     verify: bool = True,
     label: str = "",
     compute_diameter: bool = True,
+    engine: str = DEFAULT_ENGINE,
 ) -> List[ExperimentRow]:
     """Run several algorithms on the same instance (the head-to-head experiments)."""
     description = _describe(graph, compute_diameter)
     rows: List[ExperimentRow] = []
     for algorithm in algorithms:
-        result = run_single(graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify)
+        result = run_single(
+            graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify, engine=engine
+        )
         row: ExperimentRow = {"graph": label or "instance"}
         row.update(description)
         row.update(
@@ -149,12 +157,15 @@ def sweep_bandwidth(
     algorithm: str = "elkin",
     verify: bool = True,
     label: str = "",
+    engine: str = DEFAULT_ENGINE,
 ) -> List[ExperimentRow]:
     """Run the same instance under several CONGEST(b log n) bandwidths (Theorem 3.2)."""
     rows: List[ExperimentRow] = []
     description = _describe(graph, compute_diameter=True)
     for bandwidth in bandwidths:
-        result = run_single(graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify)
+        result = run_single(
+            graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify, engine=engine
+        )
         row: ExperimentRow = {"graph": label or "instance", "bandwidth": bandwidth}
         row.update(description)
         row.update(

@@ -28,7 +28,7 @@ from ..core.boruvka_merge import merge_fragment_graph
 from ..core.fragments import MSTForest
 from ..core.mwoe import Candidate, candidate_edge, fragment_outgoing_edges
 from ..core.results import MSTRunResult
-from ..simulator.network import SyncNetwork
+from ..simulator.engine import create_engine
 from ..simulator.primitives.broadcast import forest_broadcast
 from ..simulator.primitives.direct import send_over_edges
 from ..simulator.primitives.neighbor_exchange import neighbor_exchange
@@ -51,7 +51,9 @@ def ghs_style_mst(graph: nx.Graph, config: Optional[RunConfig] = None) -> MSTRun
             bandwidth=config.bandwidth,
         )
 
-    network = SyncNetwork(graph, bandwidth=config.bandwidth, validate=False)
+    network = create_engine(
+        graph, bandwidth=config.bandwidth, validate=False, engine=config.engine
+    )
     forest = MSTForest.singletons(network.vertices())
     mst_edges: Set[Edge] = set()
     phases: List[PhaseTelemetry] = []

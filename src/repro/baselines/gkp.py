@@ -24,7 +24,7 @@ from ..exceptions import FragmentError
 from ..graphs.properties import validate_weighted_graph
 from ..core.controlled_ghs import build_base_forest
 from ..core.results import MSTRunResult
-from ..simulator.network import SyncNetwork
+from ..simulator.engine import create_engine
 from ..simulator.primitives.bfs import build_bfs_tree
 from ..simulator.primitives.neighbor_exchange import neighbor_exchange
 from ..types import CostReport, Edge, FragmentId, VertexId, normalize_edge
@@ -52,7 +52,9 @@ def gkp_mst(
             bandwidth=config.bandwidth,
         )
 
-    network = SyncNetwork(graph, bandwidth=config.bandwidth, validate=False)
+    network = create_engine(
+        graph, bandwidth=config.bandwidth, validate=False, engine=config.engine
+    )
     stage_costs: Dict[str, CostReport] = {}
 
     # Auxiliary BFS tree (needed by the pipeline).

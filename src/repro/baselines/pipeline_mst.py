@@ -23,7 +23,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..exceptions import ProtocolError
 from ..simulator.message import Message
-from ..simulator.network import SyncNetwork
+from ..simulator.engine import Engine
 from ..simulator.node import NodeState
 from ..simulator.protocol import NodeProtocol, ProtocolApi, run_protocol
 from ..simulator.primitives.trees import RootedForest
@@ -53,7 +53,7 @@ class _PipelineMSTProtocol(NodeProtocol):
 
     def __init__(
         self,
-        network: SyncNetwork,
+        network: Engine,
         tree: RootedForest,
         items: Dict[VertexId, List[CandidateEdge]],
         fragment_ids: Set[FragmentId],
@@ -155,14 +155,14 @@ class _PipelineMSTProtocol(NodeProtocol):
             return
         pending.insert(index, edge)
 
-    def result(self, network: SyncNetwork) -> List[CandidateEdge]:
+    def result(self, network: Engine) -> List[CandidateEdge]:
         root = self._tree.roots[0]
         collected = sorted(set(self._root_received + self._pending[root]))
         return collected
 
 
 def pipeline_mst_upcast(
-    network: SyncNetwork,
+    network: Engine,
     tree: RootedForest,
     items: Dict[VertexId, List[CandidateEdge]],
     fragment_ids: Set[FragmentId],

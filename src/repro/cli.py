@@ -27,6 +27,17 @@ from .analysis.tables import format_table
 from .graphs.generators import FAMILIES, make_graph
 from .graphs.properties import graph_summary
 from .logging_utils import enable_console_logging
+from .simulator.engine import DEFAULT_ENGINE, available_engines
+
+
+def _engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default=DEFAULT_ENGINE,
+        choices=available_engines(),
+        help="simulation kernel to run on; every engine reports identical "
+        "rounds and messages (see DESIGN.md, Section 5)",
+    )
 
 
 def _graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -71,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="elkin", choices=available_algorithms(), help="algorithm to run"
     )
     run_parser.add_argument("--bandwidth", type=int, default=1, help="CONGEST(b log n) bandwidth")
+    _engine_argument(run_parser)
 
     compare_parser = subparsers.add_parser("compare", help="compare algorithms on one graph")
     _graph_arguments(compare_parser)
@@ -81,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_algorithms(),
         help="algorithms to compare",
     )
+    _engine_argument(compare_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep-bandwidth", help="run the paper's algorithm under several bandwidths"
@@ -89,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--bandwidths", nargs="+", type=int, default=[1, 2, 4, 8], help="bandwidth values"
     )
+    _engine_argument(sweep_parser)
     return parser
 
 
@@ -106,14 +120,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     if args.command == "run":
-        result = run_single(graph, algorithm=args.algorithm, bandwidth=args.bandwidth)
+        result = run_single(
+            graph, algorithm=args.algorithm, bandwidth=args.bandwidth, engine=args.engine
+        )
         print(format_table([result.summary_row()]))
         print(f"MST weight: {result.total_weight:.3f} ({result.edge_count} edges, verified)")
     elif args.command == "compare":
-        rows = compare_algorithms(graph, algorithms=args.algorithms, label=args.family)
+        rows = compare_algorithms(
+            graph, algorithms=args.algorithms, label=args.family, engine=args.engine
+        )
         print(format_table(rows))
     elif args.command == "sweep-bandwidth":
-        rows = sweep_bandwidth(graph, bandwidths=args.bandwidths, label=args.family)
+        rows = sweep_bandwidth(
+            graph, bandwidths=args.bandwidths, label=args.family, engine=args.engine
+        )
         print(format_table(rows))
     return 0
 

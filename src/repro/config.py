@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .exceptions import ConfigurationError
+from .simulator.engine import DEFAULT_ENGINE
 
 
 @dataclass
@@ -32,6 +33,11 @@ class RunConfig:
             :class:`~repro.exceptions.VerificationError` if measured
             rounds or messages exceed the theorem bounds with the
             constants configured in :mod:`repro.verify.complexity_checks`.
+        engine: name of the simulation kernel to run on
+            (``"reference"`` or ``"fast"``; see
+            :mod:`repro.simulator.engine`).  Both kernels produce
+            identical MST edges, round counts and message counts -- the
+            fast kernel only changes wall-clock time.
         seed: seed recorded on the result for provenance (the algorithm
             itself is deterministic; the seed only describes the input
             generator that produced the graph).
@@ -39,6 +45,7 @@ class RunConfig:
 
     bandwidth: int = 1
     base_forest_k: Optional[int] = None
+    engine: str = DEFAULT_ENGINE
     collect_telemetry: bool = True
     strict_bounds: bool = False
     seed: Optional[int] = None
@@ -50,6 +57,10 @@ class RunConfig:
         if self.base_forest_k is not None and self.base_forest_k < 1:
             raise ConfigurationError(
                 f"base_forest_k must be >= 1 when given, got {self.base_forest_k}"
+            )
+        if not isinstance(self.engine, str) or not self.engine:
+            raise ConfigurationError(
+                f"engine must be a non-empty engine name, got {self.engine!r}"
             )
 
 

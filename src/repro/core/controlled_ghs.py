@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..exceptions import FragmentError
-from ..simulator.network import SyncNetwork
+from ..simulator.engine import Engine
 from ..simulator.primitives.broadcast import forest_broadcast
 from ..simulator.primitives.convergecast import forest_convergecast
 from ..simulator.primitives.direct import send_over_edges
@@ -81,7 +81,7 @@ def _first_non_none(first, second):
 
 
 def _fragment_level_exchange(
-    network: SyncNetwork,
+    network: Engine,
     fragment_forest: RootedForest,
     root_values: Dict[VertexId, object],
     cross_messages: List[Tuple[VertexId, VertexId, object]],
@@ -104,7 +104,7 @@ def _fragment_level_exchange(
     forest_convergecast(network, fragment_forest, values, _first_non_none)
 
 
-def build_base_forest(network: SyncNetwork, k: int) -> ControlledGHSResult:
+def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
     """Build an (n/k, O(k))-MST forest on ``network`` (Theorem 4.3).
 
     Args:

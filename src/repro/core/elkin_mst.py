@@ -35,7 +35,7 @@ import networkx as nx
 from ..config import RunConfig
 from ..exceptions import FragmentError
 from ..graphs.properties import validate_weighted_graph
-from ..simulator.network import SyncNetwork
+from ..simulator.engine import create_engine
 from ..simulator.primitives.bfs import build_bfs_tree
 from ..simulator.primitives.broadcast import forest_broadcast
 from ..simulator.primitives.intervals import assign_intervals
@@ -86,7 +86,9 @@ def compute_mst(
             bandwidth=config.bandwidth,
         )
 
-    network = SyncNetwork(graph, bandwidth=config.bandwidth, validate=False)
+    network = create_engine(
+        graph, bandwidth=config.bandwidth, validate=False, engine=config.engine
+    )
     stage_costs: Dict[str, CostReport] = {}
 
     # Stage 1: auxiliary BFS tree tau.

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..simulator.network import SyncNetwork
+from ..simulator.engine import Engine
 from ..simulator.primitives.convergecast import forest_convergecast
 from ..simulator.primitives.trees import RootedForest
 from ..types import FragmentId, VertexId, normalize_edge
@@ -42,7 +42,7 @@ def minimum_candidate(
 
 
 def local_outgoing_candidate(
-    network: SyncNetwork,
+    network: Engine,
     vertex: VertexId,
     own_group: FragmentId,
     neighbor_groups: Dict[VertexId, FragmentId],
@@ -69,7 +69,7 @@ def local_outgoing_candidate(
 
 
 def fragment_outgoing_edges(
-    network: SyncNetwork,
+    network: Engine,
     fragment_forest: RootedForest,
     group_of: Dict[VertexId, FragmentId],
     neighbor_groups: Dict[VertexId, Dict[VertexId, FragmentId]],

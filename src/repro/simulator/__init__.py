@@ -12,14 +12,22 @@ the paper analyses (Section 2 of the paper):
 * the cost of an execution is its number of rounds and its total number
   of messages.
 
-:class:`~repro.simulator.network.SyncNetwork` is the kernel (message
-queues, the round clock, bandwidth enforcement and cost accounting);
-:mod:`repro.simulator.protocol` drives per-node protocols; and
-:mod:`repro.simulator.primitives` contains the classical building blocks
-(BFS tree, tree broadcast, convergecast, pipelined upcast/downcast,
-interval labelling, neighbour exchange) that the paper composes.
+The kernel behind the model is pluggable
+(:class:`~repro.simulator.engine.Engine`): the *reference* kernel
+:class:`~repro.simulator.network.SyncNetwork` mirrors the model
+definition line by line, while the *fast* kernel
+:class:`~repro.simulator.fast_network.FastNetwork` batches the hot path
+(dense indexing, tuple messages, bulk accounting) without changing a
+single reported number.  :func:`~repro.simulator.engine.create_engine`
+selects one by name.  :mod:`repro.simulator.protocol` drives per-node
+protocols; and :mod:`repro.simulator.primitives` contains the classical
+building blocks (BFS tree, tree broadcast, convergecast, pipelined
+upcast/downcast, interval labelling, neighbour exchange) that the paper
+composes.
 """
 
+from .engine import DEFAULT_ENGINE, Engine, available_engines, create_engine, register_engine
+from .fast_network import FastMessage, FastNetwork
 from .message import Message
 from .metrics import Metrics
 from .network import SyncNetwork
@@ -27,6 +35,13 @@ from .node import NodeState
 from .protocol import NodeProtocol, ProtocolApi, run_protocol
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "Engine",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    "FastMessage",
+    "FastNetwork",
     "Message",
     "Metrics",
     "SyncNetwork",

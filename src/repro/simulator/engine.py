@@ -1,0 +1,236 @@
+"""The simulation-engine abstraction and the engine registry.
+
+Every algorithm in the library talks to the network through the
+:class:`Engine` contract: queue messages with :meth:`Engine.send`,
+advance the global clock with :meth:`Engine.deliver_round` /
+:meth:`Engine.idle_rounds`, and read costs through the shared
+:class:`~repro.simulator.metrics.Metrics` helpers.  Two implementations
+ship with the package:
+
+* ``"reference"`` -- :class:`~repro.simulator.network.SyncNetwork`, the
+  readable kernel whose code mirrors the model definition (one
+  :class:`~repro.simulator.message.Message` object per transmission,
+  explicit per-edge dictionaries);
+* ``"fast"`` -- :class:`~repro.simulator.fast_network.FastNetwork`, a
+  batched kernel with dense vertex indexing, CSR-style adjacency, flat
+  per-edge bandwidth counters and bulk metric charging.
+
+Both engines implement the same model, round for round and message for
+message: switching engines changes wall-clock time only, never the
+reported complexity numbers (``tests/test_engine_equivalence.py``
+asserts this on a matrix of algorithms and graph families).
+
+Engines are selected by name through :func:`create_engine`, which is
+what :class:`~repro.config.RunConfig.engine` and the CLI's ``--engine``
+flag feed into.  Third-party kernels can join via
+:func:`register_engine`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from ..exceptions import ConfigurationError
+from ..types import CostReport, VertexId, normalize_edge
+from .metrics import Metrics, MetricsSnapshot
+from .node import NodeState
+
+
+class Engine(abc.ABC):
+    """Contract every simulation kernel implements.
+
+    Concrete engines own the communication graph, the global round
+    clock, the in-flight message queues and the cost counters.  The
+    accounting helpers (checkpointing, totals, edge enumeration) are
+    shared here so that every engine reports costs identically.
+
+    Required instance attributes (set by concrete ``__init__``):
+
+    * ``graph`` -- the :class:`networkx.Graph` being simulated;
+    * ``bandwidth`` -- the ``b`` of CONGEST(b log n);
+    * ``metrics`` -- the kernel-owned :class:`Metrics` counters.
+    """
+
+    # Empty slots keep the base abstract; concrete engines may opt into
+    # __slots__ for faster attribute access on the send hot path.
+    __slots__ = ()
+
+    graph: nx.Graph
+    bandwidth: int
+    metrics: Metrics
+
+    # ------------------------------------------------------------------ #
+    # shared queries (identical across engines)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self.graph.number_of_edges()
+
+    @property
+    def round(self) -> int:
+        """Current value of the global round clock."""
+        return self.metrics.rounds
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        """True when ``{u, v}`` is an edge of the communication graph."""
+        return self.graph.has_edge(u, v)
+
+    def sorted_edges(self) -> List[Tuple[float, VertexId, VertexId]]:
+        """All edges as (weight, u, v) triples sorted by the unique-MST order."""
+        triples = [
+            (data["weight"], *normalize_edge(u, v)) for u, v, data in self.graph.edges(data=True)
+        ]
+        return sorted(triples)
+
+    # ------------------------------------------------------------------ #
+    # shared accounting helpers
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> MetricsSnapshot:
+        """Snapshot the cost counters (see :meth:`cost_since`)."""
+        return self.metrics.checkpoint()
+
+    def cost_since(self, snapshot: MetricsSnapshot) -> CostReport:
+        """Cost accumulated since ``snapshot``."""
+        return self.metrics.since(snapshot)
+
+    def total_cost(self) -> CostReport:
+        """Total cost accumulated since the engine was created."""
+        return self.metrics.as_report()
+
+    # ------------------------------------------------------------------ #
+    # kernel contract
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def vertices(self) -> Iterable[VertexId]:
+        """Iterate over vertex identities in sorted order."""
+
+    @abc.abstractmethod
+    def node(self, vertex: VertexId) -> NodeState:
+        """Return the :class:`NodeState` of ``vertex``."""
+
+    @abc.abstractmethod
+    def edge_weight(self, u: VertexId, v: VertexId) -> float:
+        """Weight of edge ``{u, v}`` (raises if absent)."""
+
+    @abc.abstractmethod
+    def send(
+        self,
+        sender: VertexId,
+        receiver: VertexId,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+        words: int = 1,
+    ) -> None:
+        """Queue a message for delivery at the start of the next round.
+
+        Must enforce that ``(sender, receiver)`` is a graph edge and that
+        the words sent over the directed edge in the current round stay
+        within the bandwidth (raising
+        :class:`~repro.exceptions.BandwidthExceededError` otherwise).
+        """
+
+    @abc.abstractmethod
+    def remaining_capacity(self, sender: VertexId, receiver: VertexId) -> int:
+        """Words still available this round over the directed edge ``sender -> receiver``."""
+
+    @abc.abstractmethod
+    def pending_count(self) -> int:
+        """Number of messages queued for delivery in the next round."""
+
+    @abc.abstractmethod
+    def deliver_round(self) -> Dict[VertexId, List[Any]]:
+        """Advance the clock by one round and deliver all queued messages.
+
+        Returns a mapping from receiver vertex to the list of messages it
+        receives at the start of the new round (receivers with an empty
+        inbox are omitted).  Delivered messages expose the
+        :class:`~repro.simulator.message.Message` attribute interface
+        (``sender`` / ``receiver`` / ``kind`` / ``payload`` / ``words`` /
+        ``sent_in_round``); per-receiver lists preserve global send
+        order, and receivers appear in first-message order.
+        """
+
+    @abc.abstractmethod
+    def idle_rounds(self, count: int) -> None:
+        """Advance the clock by ``count`` silent rounds (no messages).
+
+        Must raise :class:`~repro.exceptions.SimulationError` when
+        messages are pending or ``count`` is negative.
+        """
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+
+#: An engine factory: ``factory(graph, bandwidth=..., validate=...) -> Engine``.
+EngineFactory = Callable[..., Engine]
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+
+#: Name of the engine used when none is requested explicitly.
+DEFAULT_ENGINE = "reference"
+
+
+def register_engine(name: str, factory: EngineFactory) -> None:
+    """Register ``factory`` under ``name`` for :func:`create_engine`.
+
+    Registering a name twice replaces the previous factory, which lets
+    tests substitute instrumented kernels.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"engine name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def _ensure_builtin_engines() -> None:
+    """Import the built-in kernels so they self-register (idempotent)."""
+    from . import fast_network as _fast_network  # noqa: F401
+    from . import network as _network  # noqa: F401
+
+
+def available_engines() -> List[str]:
+    """Names accepted by :func:`create_engine` (and the CLI's ``--engine``)."""
+    _ensure_builtin_engines()
+    return sorted(_REGISTRY)
+
+
+def create_engine(
+    graph: nx.Graph,
+    bandwidth: int = 1,
+    validate: bool = True,
+    engine: str = DEFAULT_ENGINE,
+) -> Engine:
+    """Instantiate the simulation kernel named ``engine`` over ``graph``.
+
+    Args:
+        graph: connected undirected weighted :class:`networkx.Graph`.
+        bandwidth: the ``b`` of CONGEST(b log n).
+        validate: run input validation (disable in tight loops where the
+            caller has already validated the graph).
+        engine: registered engine name (``"reference"`` or ``"fast"``
+            out of the box).
+
+    Raises:
+        ConfigurationError: when ``engine`` is not a registered name.
+    """
+    _ensure_builtin_engines()
+    try:
+        factory = _REGISTRY[engine]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory(graph, bandwidth=bandwidth, validate=validate)

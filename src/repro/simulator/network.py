@@ -28,14 +28,20 @@ import networkx as nx
 
 from ..exceptions import BandwidthExceededError, SimulationError
 from ..graphs.properties import validate_weighted_graph
-from ..types import CostReport, VertexId, normalize_edge
+from ..types import VertexId
+from .engine import Engine, register_engine
 from .message import Message
-from .metrics import Metrics, MetricsSnapshot
+from .metrics import Metrics
 from .node import NodeState
 
 
-class SyncNetwork:
+class SyncNetwork(Engine):
     """Synchronous message-passing network over a weighted graph.
+
+    This is the *reference* engine (``engine="reference"``): its code is
+    written to mirror the model definition line by line.  The batched
+    :class:`~repro.simulator.fast_network.FastNetwork` implements the
+    same :class:`~repro.simulator.engine.Engine` contract for speed.
 
     Args:
         graph: connected undirected :class:`networkx.Graph` whose edges
@@ -68,21 +74,6 @@ class SyncNetwork:
     # basic queries
     # ------------------------------------------------------------------ #
 
-    @property
-    def n(self) -> int:
-        """Number of vertices."""
-        return self.graph.number_of_nodes()
-
-    @property
-    def m(self) -> int:
-        """Number of edges."""
-        return self.graph.number_of_edges()
-
-    @property
-    def round(self) -> int:
-        """Current value of the global round clock."""
-        return self.metrics.rounds
-
     def vertices(self) -> Iterable[VertexId]:
         """Iterate over vertex identities in sorted order."""
         return self._nodes.keys()
@@ -94,22 +85,11 @@ class SyncNetwork:
         except KeyError as exc:
             raise SimulationError(f"unknown vertex {vertex}") from exc
 
-    def has_edge(self, u: VertexId, v: VertexId) -> bool:
-        """True when ``{u, v}`` is an edge of the communication graph."""
-        return self.graph.has_edge(u, v)
-
     def edge_weight(self, u: VertexId, v: VertexId) -> float:
         """Weight of edge ``{u, v}`` (raises if absent)."""
         if not self.graph.has_edge(u, v):
             raise SimulationError(f"no edge between {u} and {v}")
         return self.graph[u][v]["weight"]
-
-    def sorted_edges(self) -> List[Tuple[float, VertexId, VertexId]]:
-        """All edges as (weight, u, v) triples sorted by the unique-MST order."""
-        triples = [
-            (data["weight"], *normalize_edge(u, v)) for u, v, data in self.graph.edges(data=True)
-        ]
-        return sorted(triples)
 
     # ------------------------------------------------------------------ #
     # communication
@@ -191,18 +171,5 @@ class SyncNetwork:
         for _ in range(count):
             self.metrics.record_round()
 
-    # ------------------------------------------------------------------ #
-    # accounting helpers
-    # ------------------------------------------------------------------ #
 
-    def checkpoint(self) -> MetricsSnapshot:
-        """Snapshot the cost counters (see :meth:`cost_since`)."""
-        return self.metrics.checkpoint()
-
-    def cost_since(self, snapshot: MetricsSnapshot) -> CostReport:
-        """Cost accumulated since ``snapshot``."""
-        return self.metrics.since(snapshot)
-
-    def total_cost(self) -> CostReport:
-        """Total cost accumulated since the network was created."""
-        return self.metrics.as_report()
+register_engine("reference", SyncNetwork)

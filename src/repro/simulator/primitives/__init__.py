@@ -6,8 +6,10 @@ construction, broadcast and convergecast over rooted forests, pipelined
 upcast and downcast over a BFS tree, subtree interval labelling for
 routing, and the one-round exchange of values between graph neighbours.
 
-Every primitive charges its communication through the
-:class:`~repro.simulator.network.SyncNetwork` kernel, so the round and
+Every primitive charges its communication through an
+:class:`~repro.simulator.engine.Engine` kernel (the reference
+:class:`~repro.simulator.network.SyncNetwork` or the batched
+:class:`~repro.simulator.fast_network.FastNetwork`), so the round and
 message totals of an algorithm are the sums of what its primitives
 actually did.
 """

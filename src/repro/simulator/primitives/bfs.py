@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .trees import RootedForest
@@ -46,7 +46,7 @@ class _BFSProtocol(NodeProtocol):
 
     name = "bfs"
 
-    def __init__(self, network: SyncNetwork, root: VertexId) -> None:
+    def __init__(self, network: Engine, root: VertexId) -> None:
         super().__init__(network.vertices())
         if root not in network.graph:
             raise ProtocolError(f"BFS root {root} is not a vertex of the graph")
@@ -81,7 +81,7 @@ class _BFSProtocol(NodeProtocol):
                 api.send(vertex, neighbor, "explore", payload=(self._distance[vertex],), words=1)
         api.finish(vertex)
 
-    def result(self, network: SyncNetwork) -> BFSTree:
+    def result(self, network: Engine) -> BFSTree:
         if len(self._parent) != len(self.participants):
             missing = set(self.participants) - set(self._parent)
             raise ProtocolError(
@@ -91,7 +91,7 @@ class _BFSProtocol(NodeProtocol):
         return BFSTree(root=self.root, forest=forest, distance=dict(self._distance))
 
 
-def build_bfs_tree(network: SyncNetwork, root: Optional[VertexId] = None) -> BFSTree:
+def build_bfs_tree(network: Engine, root: Optional[VertexId] = None) -> BFSTree:
     """Build a BFS tree of the whole communication graph.
 
     Args:

@@ -14,7 +14,7 @@ from typing import Any, Dict, List
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .trees import RootedForest
@@ -27,7 +27,7 @@ class _ForestBroadcastProtocol(NodeProtocol):
 
     def __init__(
         self,
-        network: SyncNetwork,
+        network: Engine,
         forest: RootedForest,
         root_values: Dict[VertexId, Any],
     ) -> None:
@@ -72,7 +72,7 @@ class _ForestBroadcastProtocol(NodeProtocol):
         self._forward(vertex, api)
         api.finish(vertex)
 
-    def result(self, network: SyncNetwork) -> Dict[VertexId, Any]:
+    def result(self, network: Engine) -> Dict[VertexId, Any]:
         if len(self._value) != len(self.participants):
             missing = set(self.participants) - set(self._value)
             raise ProtocolError(f"broadcast did not reach {len(missing)} vertices")
@@ -80,7 +80,7 @@ class _ForestBroadcastProtocol(NodeProtocol):
 
 
 def forest_broadcast(
-    network: SyncNetwork, forest: RootedForest, root_values: Dict[VertexId, Any]
+    network: Engine, forest: RootedForest, root_values: Dict[VertexId, Any]
 ) -> Dict[VertexId, Any]:
     """Broadcast ``root_values[r]`` from every root ``r`` to its whole tree.
 

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .trees import RootedForest
@@ -51,7 +51,7 @@ class _ForestConvergecastProtocol(NodeProtocol):
 
     def __init__(
         self,
-        network: SyncNetwork,
+        network: Engine,
         forest: RootedForest,
         values: Dict[VertexId, Any],
         combiner: Combiner,
@@ -107,7 +107,7 @@ class _ForestConvergecastProtocol(NodeProtocol):
             self._accumulated[vertex] = self._combiner(self._accumulated[vertex], child_value)
         self._maybe_send_up(vertex, api)
 
-    def result(self, network: SyncNetwork) -> ConvergecastResult:
+    def result(self, network: Engine) -> ConvergecastResult:
         unfinished = [v for v in self.participants if v not in self._sent]
         if unfinished:
             raise ProtocolError(f"convergecast incomplete at {len(unfinished)} vertices")
@@ -120,7 +120,7 @@ class _ForestConvergecastProtocol(NodeProtocol):
 
 
 def forest_convergecast(
-    network: SyncNetwork,
+    network: Engine,
     forest: RootedForest,
     values: Dict[VertexId, Any],
     combiner: Combiner,

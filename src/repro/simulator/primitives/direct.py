@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Tuple
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 
@@ -26,7 +26,7 @@ class _EdgeMessagesProtocol(NodeProtocol):
 
     name = "edgemsg"
 
-    def __init__(self, network: SyncNetwork, messages: List[EdgeMessage]) -> None:
+    def __init__(self, network: Engine, messages: List[EdgeMessage]) -> None:
         participants = set(network.vertices())
         super().__init__(participants)
         seen: Dict[Tuple[VertexId, VertexId], int] = {}
@@ -58,12 +58,12 @@ class _EdgeMessagesProtocol(NodeProtocol):
                     (message.sender, message.payload[0])
                 )
 
-    def result(self, network: SyncNetwork) -> Dict[VertexId, List[Tuple[VertexId, Any]]]:
+    def result(self, network: Engine) -> Dict[VertexId, List[Tuple[VertexId, Any]]]:
         return self._received
 
 
 def send_over_edges(
-    network: SyncNetwork, messages: List[EdgeMessage]
+    network: Engine, messages: List[EdgeMessage]
 ) -> Dict[VertexId, List[Tuple[VertexId, Any]]]:
     """Send a batch of single-word messages, each over one specified edge.
 

@@ -13,7 +13,7 @@ from typing import Any, Dict, List
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 
@@ -23,7 +23,7 @@ class _FloodProtocol(NodeProtocol):
 
     name = "flood"
 
-    def __init__(self, network: SyncNetwork, source: VertexId, value: Any) -> None:
+    def __init__(self, network: Engine, source: VertexId, value: Any) -> None:
         super().__init__(network.vertices())
         if source not in network.graph:
             raise ProtocolError(f"flood source {source} is not a vertex of the graph")
@@ -55,14 +55,14 @@ class _FloodProtocol(NodeProtocol):
                 api.send(vertex, neighbor, "flood", payload=(self._learned[vertex],), words=1)
         api.finish(vertex)
 
-    def result(self, network: SyncNetwork) -> Dict[VertexId, Any]:
+    def result(self, network: Engine) -> Dict[VertexId, Any]:
         if len(self._learned) != len(self.participants):
             missing = set(self.participants) - set(self._learned)
             raise ProtocolError(f"flood did not reach {len(missing)} vertices")
         return dict(self._learned)
 
 
-def flood_value(network: SyncNetwork, source: VertexId, value: Any) -> Dict[VertexId, Any]:
+def flood_value(network: Engine, source: VertexId, value: Any) -> Dict[VertexId, Any]:
     """Flood ``value`` from ``source`` to every vertex of the graph.
 
     Returns the value each vertex learnt (identical for all vertices).

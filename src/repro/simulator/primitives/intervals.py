@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .convergecast import forest_convergecast
@@ -73,7 +73,7 @@ class _IntervalAssignProtocol(NodeProtocol):
 
     def __init__(
         self,
-        network: SyncNetwork,
+        network: Engine,
         forest: RootedForest,
         subtree_size: Dict[VertexId, int],
     ) -> None:
@@ -112,14 +112,14 @@ class _IntervalAssignProtocol(NodeProtocol):
         self._assign_children(vertex, api)
         api.finish(vertex)
 
-    def result(self, network: SyncNetwork) -> Dict[VertexId, Tuple[int, int]]:
+    def result(self, network: Engine) -> Dict[VertexId, Tuple[int, int]]:
         if len(self._interval) != len(self.participants):
             missing = set(self.participants) - set(self._interval)
             raise ProtocolError(f"interval assignment did not reach {len(missing)} vertices")
         return dict(self._interval)
 
 
-def assign_intervals(network: SyncNetwork, tree: RootedForest) -> IntervalRouting:
+def assign_intervals(network: Engine, tree: RootedForest) -> IntervalRouting:
     """Compute the interval labelling of ``tree`` and the induced routing.
 
     ``tree`` is usually the BFS tree ``tau``; a forest with several roots

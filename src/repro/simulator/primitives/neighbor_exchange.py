@@ -13,7 +13,7 @@ from typing import Any, Dict, List
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 
@@ -23,7 +23,7 @@ class _NeighborExchangeProtocol(NodeProtocol):
 
     name = "nbrx"
 
-    def __init__(self, network: SyncNetwork, values: Dict[VertexId, Any]) -> None:
+    def __init__(self, network: Engine, values: Dict[VertexId, Any]) -> None:
         super().__init__(network.vertices())
         missing = [v for v in self.participants if v not in values]
         if missing:
@@ -42,12 +42,12 @@ class _NeighborExchangeProtocol(NodeProtocol):
         for message in inbox:
             self._received[vertex][message.sender] = message.payload[0]
 
-    def result(self, network: SyncNetwork) -> Dict[VertexId, Dict[VertexId, Any]]:
+    def result(self, network: Engine) -> Dict[VertexId, Dict[VertexId, Any]]:
         return self._received
 
 
 def neighbor_exchange(
-    network: SyncNetwork, values: Dict[VertexId, Any]
+    network: Engine, values: Dict[VertexId, Any]
 ) -> Dict[VertexId, Dict[VertexId, Any]]:
     """Send ``values[v]`` from every vertex ``v`` to all of its neighbours.
 

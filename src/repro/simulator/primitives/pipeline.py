@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 from ...exceptions import ProtocolError
 from ...types import VertexId
 from ..message import Message
-from ..network import SyncNetwork
+from ..engine import Engine
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .intervals import IntervalRouting
@@ -47,7 +47,7 @@ class _PipelinedUpcastProtocol(NodeProtocol):
 
     def __init__(
         self,
-        network: SyncNetwork,
+        network: Engine,
         forest: RootedForest,
         items: Dict[VertexId, Dict[Key, Any]],
     ) -> None:
@@ -144,12 +144,12 @@ class _PipelinedUpcastProtocol(NodeProtocol):
                 self._child_done[vertex].add(message.sender)
         self._step(vertex, api)
 
-    def result(self, network: SyncNetwork) -> Dict[VertexId, Dict[Key, Any]]:
+    def result(self, network: Engine) -> Dict[VertexId, Dict[Key, Any]]:
         return {root: dict(self._best[root]) for root in self._forest.roots}
 
 
 def pipelined_upcast(
-    network: SyncNetwork,
+    network: Engine,
     tree: RootedForest,
     items: Dict[VertexId, Dict[Key, Any]],
 ) -> Dict[VertexId, Dict[Key, Any]]:
@@ -176,7 +176,7 @@ class _PipelinedDowncastProtocol(NodeProtocol):
 
     def __init__(
         self,
-        network: SyncNetwork,
+        network: Engine,
         tree: RootedForest,
         payloads: List[Tuple[VertexId, Any]],
         next_hop: NextHop,
@@ -239,12 +239,12 @@ class _PipelinedDowncastProtocol(NodeProtocol):
             self._enqueue(vertex, target, payload)
         self._pump(vertex, api)
 
-    def result(self, network: SyncNetwork) -> Dict[VertexId, List[Any]]:
+    def result(self, network: Engine) -> Dict[VertexId, List[Any]]:
         return {target: list(values) for target, values in self._delivered.items()}
 
 
 def pipelined_downcast(
-    network: SyncNetwork,
+    network: Engine,
     tree: RootedForest,
     payloads: List[Tuple[VertexId, Any]],
     routing: Optional[IntervalRouting] = None,

@@ -5,7 +5,7 @@ each round: an initialisation step (:meth:`NodeProtocol.on_start`) and a
 per-round step (:meth:`NodeProtocol.on_round`) that receives the messages
 delivered to the vertex at the beginning of the round.  The driver
 (:func:`run_protocol`) executes the protocol on a
-:class:`~repro.simulator.network.SyncNetwork`, advancing the global clock
+:class:`~repro.simulator.engine.Engine` (either kernel), advancing the global clock
 once per round, until every participant has declared itself finished and
 no messages remain in flight.
 
@@ -22,7 +22,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 from ..exceptions import ConvergenceError, ProtocolError
 from ..types import VertexId
 from .message import Message
-from .network import SyncNetwork
+from .engine import Engine
 from .node import NodeState
 
 
@@ -33,7 +33,7 @@ class ProtocolApi:
     they never touch the kernel's queues or counters directly.
     """
 
-    def __init__(self, network: SyncNetwork, protocol_name: str) -> None:
+    def __init__(self, network: Engine, protocol_name: str) -> None:
         self._network = network
         self._protocol_name = protocol_name
         self._finished: Set[VertexId] = set()
@@ -96,7 +96,7 @@ class NodeProtocol(abc.ABC):
         if not self.participants:
             raise ProtocolError(f"{type(self).__name__} needs at least one participant")
 
-    def max_rounds_hint(self, network: SyncNetwork) -> int:
+    def max_rounds_hint(self, network: Engine) -> int:
         """Upper bound on rounds; exceeding it raises :class:`ConvergenceError`.
 
         The default is intentionally generous (it exists to catch
@@ -116,12 +116,12 @@ class NodeProtocol(abc.ABC):
         """One synchronous round at ``vertex`` with the freshly delivered ``inbox``."""
 
     @abc.abstractmethod
-    def result(self, network: SyncNetwork) -> Any:
+    def result(self, network: Engine) -> Any:
         """Assemble the protocol output after termination."""
 
 
 def run_protocol(
-    network: SyncNetwork,
+    network: Engine,
     protocol: NodeProtocol,
     max_rounds: Optional[int] = None,
 ) -> Any:
@@ -165,7 +165,7 @@ def run_protocol(
 
 
 def run_protocols_sequentially(
-    network: SyncNetwork, protocols: Iterable[NodeProtocol]
+    network: Engine, protocols: Iterable[NodeProtocol]
 ) -> List[Any]:
     """Run several protocols one after another, returning their results in order."""
     return [run_protocol(network, protocol) for protocol in protocols]
