@@ -5,8 +5,11 @@ Paper claim (Table-of-prior-work / introduction): both algorithms are
 near-time-optimal on low-diameter graphs, but GKP's Pipeline-MST phase
 sends ~ n^{3/2} messages while the paper's algorithm sends
 ~ m log n + n log n log* n.  On sparse graphs the message gap therefore
-widens as n grows.  We sweep n, compare the dedicated pipeline stage
-against the paper's whole second phase, and fit growth exponents.
+widens as n grows.
+
+Ported onto the campaign layer: the (size x algorithm) sweep is one
+campaign grid, and the per-stage message split is read back from the
+full results the run store keeps for every cell.
 """
 
 from __future__ import annotations
@@ -14,44 +17,48 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.analysis.fitting import fit_power_law
-from repro.baselines import gkp_mst
-from repro.core.elkin_mst import compute_mst
-from repro.graphs import random_connected_graph
-from repro.verify.mst_checks import verify_mst_result
+from repro.campaign import Campaign, execute_campaign
+from repro.graphs import GraphSpec
 
 
 def test_e7_gkp_message_comparison(benchmark, record):
     sizes = (96, 192, 384)
+    graphs = [
+        GraphSpec("random_connected", {"n": n, "extra_edges": n, "seed": 160 + n})
+        for n in sizes
+    ]
+    campaign = Campaign.from_grid("bench-e7-vs-gkp", graphs, algorithms=("elkin", "gkp"))
 
     def run():
-        rows = []
-        for n in sizes:
-            graph = random_connected_graph(n, extra_edges=n, seed=160 + n)
-            elkin = compute_mst(graph)
-            gkp = gkp_mst(graph)
-            verify_mst_result(graph, elkin)
-            verify_mst_result(graph, gkp)
-            assert elkin.edges == gkp.edges
-            gkp_pipeline = gkp.details["stage_costs"]["pipeline"]["messages"]
-            elkin_second = (
-                elkin.details["stage_costs"]["boruvka"]["messages"]
-                + elkin.details["stage_costs"]["intervals_and_registration"]["messages"]
-            )
-            rows.append(
-                {
-                    "n": n,
-                    "m": graph.number_of_edges(),
-                    "elkin rounds": elkin.rounds,
-                    "gkp rounds": gkp.rounds,
-                    "elkin messages": elkin.messages,
-                    "gkp messages": gkp.messages,
-                    "elkin 2nd-phase msgs": elkin_second,
-                    "gkp pipeline msgs": gkp_pipeline,
-                }
-            )
-        return rows
+        return execute_campaign(campaign, jobs=1)
 
-    rows = run_once(benchmark, run)
+    report = run_once(benchmark, run)
+    results = {
+        (spec.graph.params["n"], spec.algorithm): report.store.get_result(spec.run_key())
+        for spec in campaign.specs
+    }
+    rows = []
+    for n in sizes:
+        elkin = results[(n, "elkin")]
+        gkp = results[(n, "gkp")]
+        assert elkin.edges == gkp.edges
+        gkp_pipeline = gkp.details["stage_costs"]["pipeline"]["messages"]
+        elkin_second = (
+            elkin.details["stage_costs"]["boruvka"]["messages"]
+            + elkin.details["stage_costs"]["intervals_and_registration"]["messages"]
+        )
+        rows.append(
+            {
+                "n": n,
+                "m": elkin.m,
+                "elkin rounds": elkin.rounds,
+                "gkp rounds": gkp.rounds,
+                "elkin messages": elkin.messages,
+                "gkp messages": gkp.messages,
+                "elkin 2nd-phase msgs": elkin_second,
+                "gkp pipeline msgs": gkp_pipeline,
+            }
+        )
     from repro.analysis.bounds import elkin_message_bound_formula, gkp_message_bound
 
     elkin_fit = fit_power_law([r["m"] for r in rows], [r["elkin messages"] for r in rows])

@@ -4,8 +4,9 @@
 The paper generalises the algorithm to the CONGEST(b log n) model, where
 every edge carries ``b`` words per round, and proves a round bound of
 ``O((D + sqrt(n/b)) log n)`` with unchanged message complexity.  This
-example sweeps ``b`` on a low-diameter graph and prints the measured
-rounds next to the bound's ``sqrt(n/b)`` shape.
+example declares the bandwidth sweep as a campaign grid over one graph
+spec, runs it on a worker pool, and prints the measured rounds next to
+the bound's ``sqrt(n/b)`` shape.
 
 Run with::
 
@@ -17,28 +18,36 @@ from __future__ import annotations
 import math
 import sys
 
-from repro.analysis.experiments import sweep_bandwidth
 from repro.analysis.tables import format_table
-from repro.graphs import graph_summary, random_connected_graph
+from repro.campaign import Campaign, execute_campaign
+from repro.graphs import GraphSpec
 
 
 def main() -> int:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 240
-    graph = random_connected_graph(n, seed=13)
-    summary = graph_summary(graph)
-    print(f"graph: n={summary.n} m={summary.m} D={summary.hop_diameter}")
+    campaign = Campaign.from_grid(
+        "bandwidth-scaling",
+        graphs=[GraphSpec("random_connected", {"n": n, "seed": 13})],
+        bandwidths=(1, 2, 4, 8, 16),
+        labels=["bandwidth-sweep"],
+    )
+    report = execute_campaign(campaign, jobs=2)
+    rows = report.rows
 
-    rows = sweep_bandwidth(graph, bandwidths=(1, 2, 4, 8, 16), label="bandwidth-sweep")
+    diameter = int(rows[0]["D"])
+    print(f"graph: n={rows[0]['n']} m={rows[0]['m']} D={diameter}")
     baseline_rounds = rows[0]["rounds"]
     for row in rows:
         b = int(row["bandwidth"])
         row["speedup vs b=1"] = round(baseline_rounds / row["rounds"], 2)
         row["sqrt(n/b) shape"] = round(
-            (summary.hop_diameter + math.sqrt(summary.n / b))
-            / (summary.hop_diameter + math.sqrt(summary.n)),
-            2,
+            (diameter + math.sqrt(n / b)) / (diameter + math.sqrt(n)), 2
         )
-    print(format_table(rows))
+    columns = [
+        "graph", "n", "m", "D", "bandwidth", "k", "rounds", "messages",
+        "speedup vs b=1", "sqrt(n/b) shape",
+    ]
+    print(format_table(rows, columns))
     print()
     print("The 'sqrt(n/b) shape' column is the bound's predicted relative round")
     print("count; measured speedups follow it until the D term and the additive")

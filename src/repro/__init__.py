@@ -24,6 +24,8 @@ See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
+__version__ = "1.2.0"
+
 from .config import RunConfig
 from .core.elkin_mst import compute_mst
 from .core.controlled_ghs import build_base_forest
@@ -33,15 +35,29 @@ from .graphs.generators import (
     make_graph,
     random_connected_graph,
 )
+from .campaign import (
+    Campaign,
+    CampaignReport,
+    RunSpec,
+    RunStore,
+    available_presets,
+    execute_campaign,
+    preset_campaign,
+)
 from .simulator.engine import Engine, available_engines, create_engine, register_engine
 from .simulator.fast_network import FastNetwork
 from .simulator.network import SyncNetwork
 from .types import CostReport
 
-__version__ = "1.1.0"
-
 __all__ = [
     "RunConfig",
+    "Campaign",
+    "CampaignReport",
+    "RunSpec",
+    "RunStore",
+    "available_presets",
+    "execute_campaign",
+    "preset_campaign",
     "compute_mst",
     "build_base_forest",
     "MSTRunResult",

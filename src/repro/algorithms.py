@@ -1,0 +1,49 @@
+"""Registry of the distributed MST algorithms this package implements.
+
+The experiment runners (:mod:`repro.analysis.experiments`) and the
+campaign orchestration layer (:mod:`repro.campaign`) both need to turn
+an algorithm *name* into a callable ``(graph, RunConfig) -> MSTRunResult``.
+Keeping the registry in its own leaf module lets both layers share one
+source of truth without importing each other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import networkx as nx
+
+from .baselines.ghs import ghs_style_mst
+from .baselines.gkp import gkp_mst
+from .baselines.prs import prs_style_mst
+from .config import RunConfig
+from .core.elkin_mst import compute_mst
+from .core.results import MSTRunResult
+from .exceptions import ConfigurationError
+
+#: Algorithm name -> runner.  All runners share the RunConfig contract.
+ALGORITHMS: Dict[str, Callable[[nx.Graph, RunConfig], MSTRunResult]] = {
+    "elkin": compute_mst,
+    "ghs": ghs_style_mst,
+    "gkp": gkp_mst,
+    "prs": prs_style_mst,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Sorted names accepted by ``algorithm`` arguments across the package."""
+    return sorted(ALGORITHMS)
+
+
+def run_algorithm(graph: nx.Graph, algorithm: str, config: RunConfig) -> MSTRunResult:
+    """Run ``algorithm`` (by name) on ``graph`` under ``config``.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for unknown
+    names; the message lists the available algorithms so sweep typos are
+    easy to diagnose.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; available: {', '.join(available_algorithms())}"
+        )
+    return ALGORITHMS[algorithm](graph, config)

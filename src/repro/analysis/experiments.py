@@ -1,44 +1,37 @@
 """Experiment runners shared by the benchmark harness and the examples.
 
-Each runner takes declarative input (graph specs, algorithm names,
-bandwidths), executes the corresponding simulated runs, verifies the
-output against the sequential oracles, and returns flat row dictionaries
-ready for :func:`repro.analysis.tables.format_table` or for
-pytest-benchmark's ``extra_info``.
+Since the campaign refactor these runners are thin wrappers over
+:mod:`repro.campaign`: each call is expressed as a one-shot
+:class:`~repro.campaign.spec.Campaign` and executed serially against an
+in-memory run store, so the examples, the benchmarks and the
+``repro-mst sweep`` CLI all share one execution path.  The historical
+signatures are preserved; output rows are a superset of the historical
+columns (``engine`` and ``seed`` are now recorded for provenance).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import networkx as nx
 
-from ..baselines.ghs import ghs_style_mst
-from ..baselines.gkp import gkp_mst
-from ..baselines.prs import prs_style_mst
+from ..algorithms import available_algorithms, run_algorithm
 from ..config import RunConfig
-from ..core.elkin_mst import compute_mst
 from ..core.results import MSTRunResult
-from ..exceptions import ConfigurationError
 from ..graphs.generators import GraphSpec
 from ..simulator.engine import DEFAULT_ENGINE
-from ..graphs.properties import hop_diameter
-from .bounds import elkin_message_bound_formula, elkin_time_bound_formula
 
 #: One row of experiment output (column name -> value).
 ExperimentRow = Dict[str, object]
 
-_ALGORITHMS: Dict[str, Callable[[nx.Graph, RunConfig], MSTRunResult]] = {
-    "elkin": lambda graph, config: compute_mst(graph, config),
-    "ghs": lambda graph, config: ghs_style_mst(graph, config),
-    "gkp": lambda graph, config: gkp_mst(graph, config),
-    "prs": lambda graph, config: prs_style_mst(graph, config),
-}
-
-
-def available_algorithms() -> List[str]:
-    """Names accepted by the ``algorithm`` arguments below."""
-    return sorted(_ALGORITHMS)
+__all__ = [
+    "ExperimentRow",
+    "available_algorithms",
+    "run_single",
+    "sweep_graphs",
+    "compare_algorithms",
+    "sweep_bandwidth",
+]
 
 
 def run_single(
@@ -48,29 +41,33 @@ def run_single(
     verify: bool = True,
     base_forest_k: Optional[int] = None,
     engine: str = DEFAULT_ENGINE,
+    seed: Optional[int] = None,
+    collect_telemetry: bool = True,
+    strict_bounds: bool = False,
 ) -> MSTRunResult:
-    """Run one distributed MST algorithm on ``graph`` and (optionally) verify it."""
-    if algorithm not in _ALGORITHMS:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; available: {', '.join(available_algorithms())}"
-        )
-    config = RunConfig(bandwidth=bandwidth, base_forest_k=base_forest_k, engine=engine)
-    result = _ALGORITHMS[algorithm](graph, config)
+    """Run one distributed MST algorithm on ``graph`` and (optionally) verify it.
+
+    ``seed`` (provenance of the generator that produced ``graph``),
+    ``collect_telemetry`` and ``strict_bounds`` are threaded into the
+    :class:`~repro.config.RunConfig` verbatim; a provided seed is also
+    recorded in ``result.details`` so it survives serialization.
+    """
+    config = RunConfig(
+        bandwidth=bandwidth,
+        base_forest_k=base_forest_k,
+        engine=engine,
+        seed=seed,
+        collect_telemetry=collect_telemetry,
+        strict_bounds=strict_bounds,
+    )
+    result = run_algorithm(graph, algorithm, config)
+    if seed is not None:
+        result.details.setdefault("seed", seed)
     if verify:
         from ..verify.mst_checks import verify_mst_result
 
         verify_mst_result(graph, result)
     return result
-
-
-def _describe(graph: nx.Graph, compute_diameter: bool) -> Dict[str, object]:
-    row: Dict[str, object] = {
-        "n": graph.number_of_nodes(),
-        "m": graph.number_of_edges(),
-    }
-    if compute_diameter:
-        row["D"] = hop_diameter(graph)
-    return row
 
 
 def sweep_graphs(
@@ -88,37 +85,18 @@ def sweep_graphs(
     with the measured/bound ratios (values below 1.0 mean the bound
     holds with the calibrated constants).
     """
-    rows: List[ExperimentRow] = []
-    for spec in specs:
-        graph = spec.build()
-        row: ExperimentRow = {"graph": spec.label()}
-        row.update(_describe(graph, compute_diameter))
-        result = run_single(
-            graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify, engine=engine
-        )
-        row.update(
-            {
-                "algorithm": algorithm,
-                "bandwidth": bandwidth,
-                "rounds": result.rounds,
-                "messages": result.messages,
-            }
-        )
-        if algorithm == "elkin":
-            diameter = int(row.get("D", result.details.get("bfs_depth", 0)))
-            time_bound = elkin_time_bound_formula(result.n, diameter, bandwidth)
-            message_bound = elkin_message_bound_formula(result.n, result.m)
-            row.update(
-                {
-                    "k": result.details.get("k"),
-                    "round_bound": round(time_bound),
-                    "round_ratio": round(result.rounds / time_bound, 3),
-                    "message_bound": round(message_bound),
-                    "message_ratio": round(result.messages / message_bound, 3),
-                }
-            )
-        rows.append(row)
-    return rows
+    from ..campaign.executor import execute_campaign
+    from ..campaign.spec import Campaign
+
+    campaign = Campaign.from_grid(
+        "sweep_graphs",
+        graphs=list(specs),
+        algorithms=(algorithm,),
+        bandwidths=(bandwidth,),
+        engines=(engine,),
+        verify=verify,
+    )
+    return execute_campaign(campaign, jobs=1, compute_diameter=compute_diameter).rows
 
 
 def compare_algorithms(
@@ -130,25 +108,26 @@ def compare_algorithms(
     compute_diameter: bool = True,
     engine: str = DEFAULT_ENGINE,
 ) -> List[ExperimentRow]:
-    """Run several algorithms on the same instance (the head-to-head experiments)."""
-    description = _describe(graph, compute_diameter)
-    rows: List[ExperimentRow] = []
-    for algorithm in algorithms:
-        result = run_single(
-            graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify, engine=engine
-        )
-        row: ExperimentRow = {"graph": label or "instance"}
-        row.update(description)
-        row.update(
-            {
-                "algorithm": algorithm,
-                "rounds": result.rounds,
-                "messages": result.messages,
-                "weight": round(result.total_weight, 3),
-            }
-        )
-        rows.append(row)
-    return rows
+    """Run several algorithms on the same instance (the head-to-head experiments).
+
+    The prebuilt ``graph`` is serialized into an ``edge_list`` spec, so
+    the instance description (including the hop-diameter) is computed
+    once and shared across all algorithm cells via the run store's
+    graph-description cache.
+    """
+    from ..campaign.executor import execute_campaign
+    from ..campaign.spec import Campaign, inline_graph_spec
+
+    campaign = Campaign.from_grid(
+        "compare_algorithms",
+        graphs=[inline_graph_spec(graph)],
+        algorithms=tuple(algorithms),
+        bandwidths=(bandwidth,),
+        engines=(engine,),
+        labels=[label or "instance"],
+        verify=verify,
+    )
+    return execute_campaign(campaign, jobs=1, compute_diameter=compute_diameter).rows
 
 
 def sweep_bandwidth(
@@ -160,20 +139,16 @@ def sweep_bandwidth(
     engine: str = DEFAULT_ENGINE,
 ) -> List[ExperimentRow]:
     """Run the same instance under several CONGEST(b log n) bandwidths (Theorem 3.2)."""
-    rows: List[ExperimentRow] = []
-    description = _describe(graph, compute_diameter=True)
-    for bandwidth in bandwidths:
-        result = run_single(
-            graph, algorithm=algorithm, bandwidth=bandwidth, verify=verify, engine=engine
-        )
-        row: ExperimentRow = {"graph": label or "instance", "bandwidth": bandwidth}
-        row.update(description)
-        row.update(
-            {
-                "k": result.details.get("k"),
-                "rounds": result.rounds,
-                "messages": result.messages,
-            }
-        )
-        rows.append(row)
-    return rows
+    from ..campaign.executor import execute_campaign
+    from ..campaign.spec import Campaign, inline_graph_spec
+
+    campaign = Campaign.from_grid(
+        "sweep_bandwidth",
+        graphs=[inline_graph_spec(graph)],
+        algorithms=(algorithm,),
+        bandwidths=tuple(bandwidths),
+        engines=(engine,),
+        labels=[label or "instance"],
+        verify=verify,
+    )
+    return execute_campaign(campaign, jobs=1).rows

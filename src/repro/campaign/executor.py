@@ -1,0 +1,318 @@
+"""Execution layer: serial and multiprocessing campaign executors.
+
+Both executors drive every cell through the same single-cell runner
+(:func:`run_spec`), so a parallel sweep produces *row-for-row identical*
+output to a serial one -- the pool only changes wall-clock time.  Graphs
+are constructed inside the worker that runs the cell (specs are data, so
+nothing heavyweight crosses process boundaries), results are committed
+to the run store in deterministic campaign order, and instance
+descriptions (n, m, hop-diameter) are computed once per distinct graph
+and cached in the store.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.bounds import elkin_message_bound_formula, elkin_time_bound_formula
+from ..analysis.experiments import run_single
+from ..core.results import MSTRunResult
+from ..exceptions import ConfigurationError
+from ..graphs.properties import hop_diameter
+from .spec import Campaign, RunSpec
+from .store import GraphDescription, RunStore
+
+#: One flat output row (column name -> JSON-safe value).
+Row = Dict[str, object]
+
+
+def _describe_graph(graph, compute_diameter: bool) -> GraphDescription:
+    description: GraphDescription = {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+    }
+    if compute_diameter:
+        description["D"] = hop_diameter(graph)
+    return description
+
+
+def describe_instance(spec: RunSpec, compute_diameter: bool = True) -> GraphDescription:
+    """Instance description (n, m and optionally hop-diameter) for a spec."""
+    return _describe_graph(spec.build_graph(), compute_diameter)
+
+
+def _build_row(spec: RunSpec, description: GraphDescription, result: MSTRunResult) -> Row:
+    """Assemble the flat output row for one completed cell.
+
+    The column set is a superset of what the legacy experiment runners
+    produced, adding ``engine`` and ``seed`` for provenance and the
+    theorem-bound ratio columns for the paper's algorithm.
+    """
+    row: Row = {"graph": spec.display_label()}
+    row.update(description)
+    row.update(
+        {
+            "algorithm": spec.algorithm,
+            "bandwidth": spec.bandwidth,
+            "engine": spec.engine,
+            "seed": spec.seed,
+            "k": result.details.get("k"),
+            "rounds": result.rounds,
+            "messages": result.messages,
+            "weight": round(result.total_weight, 6),
+        }
+    )
+    if spec.algorithm == "elkin":
+        diameter = int(row.get("D", result.details.get("bfs_depth", 0)))
+        time_bound = elkin_time_bound_formula(result.n, diameter, spec.bandwidth)
+        message_bound = elkin_message_bound_formula(result.n, result.m)
+        row.update(
+            {
+                "round_bound": round(time_bound),
+                "round_ratio": round(result.rounds / time_bound, 3),
+                "message_bound": round(message_bound),
+                "message_ratio": round(result.messages / message_bound, 3),
+            }
+        )
+    return row
+
+
+def run_spec(
+    spec: RunSpec,
+    description: Optional[GraphDescription] = None,
+    verify: bool = True,
+    compute_diameter: bool = True,
+) -> Tuple[Row, MSTRunResult]:
+    """Run one cell: build the graph, simulate, verify, build the row.
+
+    Delegates the single-execution contract (RunConfig assembly, seed
+    provenance, deferred verification) to
+    :func:`repro.analysis.experiments.run_single` so campaign cells and
+    direct calls can never diverge.
+    """
+    graph = spec.build_graph()
+    if description is None:
+        description = _describe_graph(graph, compute_diameter)
+    result = run_single(
+        graph,
+        algorithm=spec.algorithm,
+        bandwidth=spec.bandwidth,
+        verify=verify,
+        base_forest_k=spec.base_forest_k,
+        engine=spec.engine,
+        seed=spec.seed,
+    )
+    return _build_row(spec, description, result), result
+
+
+# -- picklable worker entry points (top level for multiprocessing) -------
+
+
+def _describe_worker(
+    payload: Tuple[str, Dict[str, object], bool],
+) -> Tuple[str, GraphDescription]:
+    graph_key, spec_json, compute_diameter = payload
+    spec = RunSpec.from_json_dict(spec_json)
+    return graph_key, describe_instance(spec, compute_diameter=compute_diameter)
+
+
+def _run_worker(
+    payload: Tuple[int, Dict[str, object], Optional[GraphDescription], bool, bool],
+) -> Tuple[int, Row, Dict[str, object], GraphDescription]:
+    index, spec_json, description, verify, compute_diameter = payload
+    spec = RunSpec.from_json_dict(spec_json)
+    row, result = run_spec(
+        spec, description=description, verify=verify, compute_diameter=compute_diameter
+    )
+    used = {key: row[key] for key in ("n", "m", "D") if key in row}
+    return index, row, result.to_json_dict(), used
+
+
+def _map_payloads(worker, payloads: Sequence[object], jobs: int) -> List[object]:
+    """Run ``worker`` over payloads, serially or on a process pool.
+
+    ``chunksize=1`` keeps scheduling deterministic-agnostic: results are
+    returned in payload order either way, so output never depends on
+    which worker finished first.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else "spawn"
+    context = multiprocessing.get_context(method)
+    with context.Pool(processes=min(jobs, len(payloads))) as pool:
+        return pool.map(worker, payloads, chunksize=1)
+
+
+def _provenance(spec: RunSpec, executor: str, verified: bool) -> Dict[str, object]:
+    from .. import __version__
+
+    return {
+        "package_version": __version__,
+        "algorithm": spec.algorithm,
+        "engine": spec.engine,
+        "seed": spec.seed,
+        "executor": executor,
+        "verified": verified,
+        # Non-deterministic cells (no pinned seed) record *a* sample;
+        # resuming them replays that sample rather than a fresh draw.
+        "deterministic": spec.is_deterministic(),
+    }
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`execute_campaign` call.
+
+    Attributes:
+        campaign: the campaign that was executed.
+        rows: one flat row per cell, in campaign (grid) order --
+            regardless of which cells were freshly simulated and which
+            were reused from the store.
+        executed: number of cells simulated by this call.
+        reused: number of cells skipped because the store already held
+            their run key (resume).
+        described: number of instance descriptions computed by this
+            call (cache misses of the graph-description cache).
+        store: the run store the campaign was executed against.
+    """
+
+    campaign: Campaign
+    rows: List[Row] = field(default_factory=list)
+    executed: int = 0
+    reused: int = 0
+    described: int = 0
+    store: Optional[RunStore] = None
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.campaign.name!r}: {len(self.rows)} cells "
+            f"({self.executed} executed, {self.reused} reused)"
+        )
+
+
+def execute_campaign(
+    campaign: Campaign,
+    store: Optional[RunStore] = None,
+    jobs: int = 1,
+    resume: bool = True,
+    verify: Optional[bool] = None,
+    compute_diameter: bool = True,
+) -> CampaignReport:
+    """Execute every cell of ``campaign`` and return the ordered rows.
+
+    Args:
+        campaign: the grid to run.
+        store: run store for persistence and resume; ``None`` uses a
+            fresh in-memory store (everything is recomputed).
+        jobs: worker processes; ``1`` runs serially in-process.  The
+            parallel path produces rows identical to the serial one.
+        resume: when True (the default), cells whose run key is already
+            in the store are *not* re-simulated; their stored rows are
+            returned in place.  When False every cell is re-run and the
+            store records are overwritten.
+        verify: override of ``campaign.verify`` (checks every MST
+            against the sequential oracle inside the worker).
+        compute_diameter: include the hop-diameter ``D`` in instance
+            descriptions (the one expensive description field).
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    store = store if store is not None else RunStore(None)
+    do_verify = campaign.verify if verify is None else verify
+
+    keys = campaign.run_keys()
+    pending: List[Tuple[int, RunSpec, str]] = []
+    reused_keys: Dict[int, str] = {}
+    for index, (spec, key) in enumerate(zip(campaign.specs, keys)):
+        # A stored cell satisfies this call only if it was verified at
+        # least as strongly: when this sweep wants verification, an
+        # unverified record (e.g. from an earlier --no-verify run) is
+        # re-simulated rather than silently replayed.
+        reusable = (
+            resume
+            and store.has_run(key)
+            and (not do_verify or store.get_provenance(key).get("verified", False))
+        )
+        if reusable:
+            reused_keys[index] = key
+        else:
+            pending.append((index, spec, key))
+
+    # Instance descriptions, computed once per distinct graph.  Only
+    # deterministic specs (pinned seed or verbatim edge list) may share
+    # a description across cells or reuse the store cache; every other
+    # cell derives its description inside the run worker from the very
+    # graph it simulates, so rows are always self-consistent.  A cached
+    # description computed without the hop-diameter does not satisfy a
+    # compute_diameter=True sweep -- it is recomputed and overwritten.
+    def _usable(cached: Optional[GraphDescription]) -> bool:
+        return cached is not None and (not compute_diameter or "D" in cached)
+
+    described = 0
+    descriptions: Dict[str, GraphDescription] = {}
+    if pending:
+        groups: Dict[str, List[RunSpec]] = {}
+        for _, spec, _ in pending:
+            groups.setdefault(spec.graph_key(), []).append(spec)
+        describe_payloads = []
+        for graph_key, members in groups.items():
+            if not members[0].is_deterministic():
+                continue
+            cached = store.graph_description(graph_key)
+            if _usable(cached):
+                descriptions[graph_key] = cached
+            elif len(members) > 1:
+                # Worth a dedicated pass: one description serves many cells.
+                describe_payloads.append(
+                    (graph_key, members[0].to_json_dict(), compute_diameter)
+                )
+            # Single-cell graphs: the run worker describes the graph it
+            # builds anyway; the result is recorded into the cache below.
+        for graph_key, description in _map_payloads(_describe_worker, describe_payloads, jobs):
+            store.record_graph(graph_key, description)
+            descriptions[graph_key] = description
+            described += 1
+
+    # Simulate the pending cells (graphs are built inside each worker).
+    executor_name = "serial" if jobs <= 1 else f"pool-{jobs}"
+    payloads = [
+        (
+            index,
+            spec.to_json_dict(),
+            descriptions.get(spec.graph_key()),
+            do_verify,
+            compute_diameter,
+        )
+        for index, spec, _ in pending
+    ]
+    fresh: Dict[int, Row] = {}
+    outcomes = _map_payloads(_run_worker, payloads, jobs)
+    for (index, spec, _), (out_index, row, result_json, used) in zip(pending, outcomes):
+        assert index == out_index
+        graph_key = spec.graph_key()
+        if (
+            spec.is_deterministic()
+            and graph_key not in descriptions
+            and not _usable(store.graph_description(graph_key))
+        ):
+            store.record_graph(graph_key, used)
+            descriptions[graph_key] = used
+            described += 1
+        store.record_run(spec, row, result_json, _provenance(spec, executor_name, do_verify))
+        fresh[index] = row
+
+    rows = [
+        fresh[index] if index in fresh else store.get_row(reused_keys[index])
+        for index in range(len(campaign.specs))
+    ]
+    return CampaignReport(
+        campaign=campaign,
+        rows=rows,
+        executed=len(fresh),
+        reused=len(reused_keys),
+        described=described,
+        store=store,
+    )

@@ -1,0 +1,157 @@
+"""Persistence layer: an append-only JSONL run store with resume support.
+
+Every completed cell of a campaign is appended as one JSON line keyed by
+the cell's content hash (:meth:`~repro.campaign.spec.RunSpec.run_key`),
+together with its output row, the full serialized
+:class:`~repro.core.results.MSTRunResult` and a provenance stamp
+(package version, engine, seed, executor).  Re-running a campaign
+against the same store skips every cell whose key is already present --
+the resume semantics the ``repro-mst sweep --resume`` flag exposes.
+
+The store also caches *instance descriptions* (n, m, hop-diameter) per
+graph-spec hash, so expensive ``hop_diameter`` computations happen once
+per distinct graph across all campaigns sharing the store, not once per
+cell.
+
+A store constructed with ``path=None`` is purely in-memory; the legacy
+experiment runners use that mode so they stay side-effect free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..core.results import MSTRunResult
+from ..exceptions import ConfigurationError
+from .spec import RunSpec
+
+#: One instance description: {"n": int, "m": int, "D": int (optional)}.
+GraphDescription = Dict[str, object]
+
+
+class RunStore:
+    """Content-addressed storage for campaign cells (JSONL on disk).
+
+    Records are one of two kinds::
+
+        {"kind": "run",   "key": <run_key>,   "spec": ..., "row": ...,
+         "result": ..., "provenance": ...}
+        {"kind": "graph", "key": <graph_key>, "description": {...}}
+
+    The file is append-only; on load, the last record per key wins, so
+    overwriting a cell is just appending a fresh record.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._runs: Dict[str, Dict[str, object]] = {}
+        self._graphs: Dict[str, GraphDescription] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # -- loading ---------------------------------------------------------
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ConfigurationError(
+                        f"{self.path}:{line_number}: corrupt run-store line ({error})"
+                    ) from error
+                kind = record.get("kind")
+                if kind == "run":
+                    self._runs[str(record["key"])] = record
+                elif kind == "graph":
+                    self._graphs[str(record["key"])] = dict(record["description"])
+                else:
+                    raise ConfigurationError(
+                        f"{self.path}:{line_number}: unknown record kind {kind!r}"
+                    )
+
+    def _append(self, record: Dict[str, object]) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            # No sort_keys: records are built in deterministic order, and
+            # preserving row insertion order keeps table columns stable
+            # when rows are reloaded on resume.
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- run records -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._runs
+
+    def has_run(self, key: str) -> bool:
+        return key in self._runs
+
+    def run_keys(self) -> List[str]:
+        return list(self._runs)
+
+    def get_row(self, key: str) -> Dict[str, object]:
+        """The flat output row recorded for ``key`` (KeyError if absent)."""
+        return dict(self._runs[key]["row"])
+
+    def get_result(self, key: str) -> MSTRunResult:
+        """The full deserialized result recorded for ``key``."""
+        return MSTRunResult.from_json_dict(self._runs[key]["result"])
+
+    def get_spec(self, key: str) -> RunSpec:
+        return RunSpec.from_json_dict(self._runs[key]["spec"])
+
+    def get_provenance(self, key: str) -> Dict[str, object]:
+        return dict(self._runs[key]["provenance"])
+
+    def record_run(
+        self,
+        spec: RunSpec,
+        row: Dict[str, object],
+        result_json: Dict[str, object],
+        provenance: Dict[str, object],
+    ) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "kind": "run",
+            "key": spec.run_key(),
+            "spec": spec.to_json_dict(),
+            # Copied: callers may decorate their returned rows with
+            # presentation columns; the store must not see those.
+            "row": dict(row),
+            "result": result_json,
+            "provenance": provenance,
+        }
+        self._runs[str(record["key"])] = record
+        self._append(record)
+        return record
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        """All recorded rows, in insertion (file) order."""
+        for record in self._runs.values():
+            yield dict(record["row"])
+
+    # -- graph description cache ----------------------------------------
+
+    def graph_description(self, key: str) -> Optional[GraphDescription]:
+        description = self._graphs.get(key)
+        return dict(description) if description is not None else None
+
+    def record_graph(self, key: str, description: GraphDescription) -> None:
+        self._graphs[key] = dict(description)
+        self._append({"kind": "graph", "key": key, "description": dict(description)})
+
+    def graph_keys(self) -> List[str]:
+        return list(self._graphs)

@@ -5,10 +5,16 @@ Examples::
     repro-mst run --family random_connected --n 200 --algorithm elkin
     repro-mst compare --family grid --rows 10 --cols 10
     repro-mst sweep-bandwidth --family random_connected --n 256 --bandwidths 1 2 4 8
+    repro-mst sweep --preset e6-bandwidth --jobs 4 --output runs.jsonl --resume
+    repro-mst sweep --families random_connected grid --sizes 64 128 \
+        --algorithms elkin ghs --seeds 0 1 --jobs 4 --output runs.jsonl
 
-Every subcommand builds a graph from a generator family, runs one or more
-of the simulated algorithms, verifies the result against the sequential
-oracles and prints an ASCII table with the measured rounds and messages.
+The single-graph subcommands build one graph from a generator family,
+run one or more of the simulated algorithms, verify the result against
+the sequential oracles and print an ASCII table with the measured rounds
+and messages.  ``sweep`` executes a whole campaign grid (a named preset
+or a cross-product of the supplied axes), optionally on a worker pool,
+against a persistent JSONL run store with resume semantics.
 """
 
 from __future__ import annotations
@@ -17,17 +23,28 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .algorithms import available_algorithms
 from .analysis.experiments import (
-    available_algorithms,
     compare_algorithms,
     run_single,
     sweep_bandwidth,
 )
 from .analysis.tables import format_table
+from .campaign import (
+    Campaign,
+    RunStore,
+    available_presets,
+    execute_campaign,
+    graph_spec_for,
+    preset_campaign,
+)
 from .graphs.generators import FAMILIES, make_graph
 from .graphs.properties import graph_summary
 from .logging_utils import enable_console_logging
 from .simulator.engine import DEFAULT_ENGINE, available_engines
+
+#: Families a CLI user can ask for (edge_list specs carry explicit edges).
+CLI_FAMILIES = sorted(family for family in FAMILIES if family != "edge_list")
 
 
 def _engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -44,7 +61,7 @@ def _graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--family",
         default="random_connected",
-        choices=sorted(FAMILIES),
+        choices=CLI_FAMILIES,
         help="graph generator family",
     )
     parser.add_argument("--n", type=int, default=100, help="number of vertices (where applicable)")
@@ -103,7 +120,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--bandwidths", nargs="+", type=int, default=[1, 2, 4, 8], help="bandwidth values"
     )
     _engine_argument(sweep_parser)
+
+    campaign_parser = subparsers.add_parser(
+        "sweep",
+        help="execute a campaign grid (preset or cross-product), "
+        "optionally in parallel against a persistent run store",
+    )
+    campaign_parser.add_argument(
+        "--preset",
+        default=None,
+        choices=available_presets(),
+        help="named scenario grid (E1-E9 reproductions); overrides the grid axes",
+    )
+    campaign_parser.add_argument(
+        "--families",
+        nargs="+",
+        default=["random_connected"],
+        choices=CLI_FAMILIES,
+        help="graph families of the grid",
+    )
+    campaign_parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[64], help="target vertex counts of the grid"
+    )
+    campaign_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["elkin"],
+        choices=available_algorithms(),
+        help="algorithms of the grid",
+    )
+    campaign_parser.add_argument(
+        "--bandwidths", nargs="+", type=int, default=[1], help="CONGEST(b log n) bandwidths"
+    )
+    campaign_parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[0], help="generator seeds of the grid"
+    )
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    campaign_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="JSONL run store; completed cells are appended with provenance",
+    )
+    campaign_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose content hash is already in the run store",
+    )
+    campaign_parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip MST verification against the sequential oracle",
+    )
+    _engine_argument(campaign_parser)
     return parser
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Handle the ``sweep`` subcommand."""
+    if args.preset is not None:
+        campaign = preset_campaign(args.preset, engine=args.engine)
+    else:
+        graphs = [
+            graph_spec_for(family, size)
+            for family in args.families
+            for size in args.sizes
+        ]
+        campaign = Campaign.from_grid(
+            "cli-sweep",
+            graphs=graphs,
+            algorithms=tuple(args.algorithms),
+            bandwidths=tuple(args.bandwidths),
+            engines=(args.engine,),
+            seeds=tuple(args.seeds),
+        )
+    store = RunStore(args.output) if args.output else None
+    report = execute_campaign(
+        campaign,
+        store=store,
+        jobs=args.jobs,
+        resume=args.resume,
+        verify=not args.no_verify,
+    )
+    # Column union across all rows: mixed-algorithm grids would otherwise
+    # lose the elkin bound columns whenever the first row is a baseline.
+    columns: List[str] = []
+    for row in report.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    print(format_table(report.rows, columns))
+    summary = report.summary()
+    if args.output:
+        summary += f" -> {args.output}"
+    print(summary)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -112,6 +225,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.verbose:
         enable_console_logging()
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     graph = _build_graph(args)
     summary = graph_summary(graph)

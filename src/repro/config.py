@@ -38,9 +38,12 @@ class RunConfig:
             :mod:`repro.simulator.engine`).  Both kernels produce
             identical MST edges, round counts and message counts -- the
             fast kernel only changes wall-clock time.
-        seed: seed recorded on the result for provenance (the algorithm
-            itself is deterministic; the seed only describes the input
-            generator that produced the graph).
+        seed: seed recorded for provenance (the algorithm itself is
+            deterministic; the seed only describes the input generator
+            that produced the graph).  ``run_single`` and the campaign
+            executor thread it here and also record it in
+            ``result.details`` / output rows so it survives
+            serialization into the run store.
     """
 
     bandwidth: int = 1

@@ -10,18 +10,22 @@ matching the paper's (standard, w.l.o.g.) uniqueness assumption.
 from .generators import (
     GraphSpec,
     barbell_graph,
+    caterpillar_graph,
     complete_graph,
     cycle_graph,
+    edge_list_graph,
     grid_graph,
     hub_path_graph,
     lollipop_graph,
     path_graph,
+    preferential_attachment_graph,
     random_connected_graph,
     random_geometric_connected_graph,
     random_regular_connected_graph,
     random_tree,
     star_graph,
     torus_graph,
+    wheel_graph,
     make_graph,
 )
 from .weights import (
@@ -42,12 +46,16 @@ from .io import read_edge_list, write_edge_list
 __all__ = [
     "GraphSpec",
     "barbell_graph",
+    "caterpillar_graph",
     "complete_graph",
     "cycle_graph",
+    "edge_list_graph",
     "grid_graph",
     "hub_path_graph",
     "lollipop_graph",
     "path_graph",
+    "preferential_attachment_graph",
+    "wheel_graph",
     "random_connected_graph",
     "random_geometric_connected_graph",
     "random_regular_connected_graph",

@@ -215,6 +215,89 @@ def barbell_graph(
     return _finalize(nx.barbell_graph(clique_size, path_length), seed, random_weights)
 
 
+def preferential_attachment_graph(
+    n: int, attachments: int = 2, seed: Optional[int] = None, random_weights: bool = True
+) -> nx.Graph:
+    """Barabasi-Albert preferential-attachment graph on ``n`` vertices.
+
+    Every arriving vertex attaches to ``attachments`` existing vertices
+    with probability proportional to their degree, producing the heavy
+    hub structure and ``O(log n / log log n)`` hop-diameter typical of
+    scale-free networks -- a low-diameter family that is neither regular
+    nor Erdos-Renyi-like, useful for scenario diversity in sweeps.
+    """
+    if n < 2:
+        raise GraphError(f"need n >= 2, got {n}")
+    if attachments < 1 or attachments >= n:
+        raise GraphError(f"need 1 <= attachments < n, got attachments={attachments} n={n}")
+    rng = random.Random(seed)
+    graph = nx.barabasi_albert_graph(n, attachments, seed=rng.randrange(2**31))
+    return _finalize(graph, seed, random_weights)
+
+
+def caterpillar_graph(
+    n: int, spine: Optional[int] = None, seed: Optional[int] = None, random_weights: bool = True
+) -> nx.Graph:
+    """Caterpillar tree: a spine path with the remaining vertices as legs.
+
+    The spine holds ``spine`` vertices (default ``ceil(n / 2)``) and the
+    other ``n - spine`` vertices are attached round-robin as leaves, so
+    the hop-diameter is ``Theta(spine)`` while the maximum degree stays
+    bounded -- a sparse high-diameter family distinct from the bare path.
+    """
+    if n < 2:
+        raise GraphError(f"need n >= 2, got {n}")
+    spine_size = spine if spine is not None else (n + 1) // 2
+    if not 1 <= spine_size <= n:
+        raise GraphError(f"need 1 <= spine <= n, got spine={spine_size} n={n}")
+    graph = nx.path_graph(spine_size)
+    for index in range(n - spine_size):
+        graph.add_edge(index % spine_size, spine_size + index)
+    return _finalize(graph, seed, random_weights)
+
+
+def wheel_graph(n: int, seed: Optional[int] = None, random_weights: bool = True) -> nx.Graph:
+    """Wheel: a hub adjacent to every vertex of an ``(n-1)``-cycle.
+
+    Hop-diameter 2 with ``m = 2(n - 1)`` edges -- a sparse extreme
+    low-diameter family (the sparse analogue of the complete graph).
+    """
+    if n < 4:
+        raise GraphError(f"need n >= 4 for a wheel, got {n}")
+    return _finalize(nx.wheel_graph(n), seed, random_weights)
+
+
+def edge_list_graph(
+    edges: object,
+    nodes: Optional[object] = None,
+    seed: Optional[int] = None,
+    random_weights: bool = True,
+) -> nx.Graph:
+    """Explicit weighted ``(u, v, weight)`` edge list as a graph family.
+
+    This is what makes *prebuilt* graphs declarative: the campaign layer
+    serializes any :class:`networkx.Graph` into this family so a
+    :class:`GraphSpec` can always round-trip through JSON.  Node labels
+    are taken from the edges verbatim (no relabeling -- 1-indexed graphs
+    stay 1-indexed); ``nodes`` optionally lists explicit node ids for
+    vertices the edges do not cover.  The weights are taken verbatim (no
+    reassignment); ``seed`` and ``random_weights`` are accepted for
+    interface uniformity and ignored.
+    """
+    del seed, random_weights  # weights come with the edge list
+    graph = nx.Graph()
+    for entry in edges:  # type: ignore[attr-defined]
+        u, v, weight = entry
+        graph.add_edge(int(u), int(v), weight=float(weight))
+    if nodes is not None:
+        graph.add_nodes_from(int(node) for node in nodes)  # type: ignore[attr-defined]
+    if graph.number_of_nodes() == 0:
+        raise GraphError("edge_list produced an empty graph")
+    if not nx.is_connected(graph):
+        raise GraphError("edge_list produced a disconnected graph")
+    return graph
+
+
 def hub_path_graph(n: int, seed: Optional[int] = None, random_weights: bool = True) -> nx.Graph:
     """A low-hop-diameter graph whose MST is a long path.
 
@@ -257,8 +340,14 @@ class GraphSpec:
         return make_graph(self.family, **self.params)
 
     def label(self) -> str:
-        parts = ", ".join(f"{key}={value}" for key, value in sorted(self.params.items()))
-        return f"{self.family}({parts})"
+        parts = []
+        for key, value in sorted(self.params.items()):
+            text = f"{key}={value}"
+            if len(text) > 32:  # e.g. the edges of an edge_list spec
+                size = len(value) if hasattr(value, "__len__") else "?"
+                text = f"{key}=<{size} items>"
+            parts.append(text)
+        return f"{self.family}({', '.join(parts)})"
 
 
 FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
@@ -275,6 +364,10 @@ FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
     "lollipop": lollipop_graph,
     "barbell": barbell_graph,
     "hub_path": hub_path_graph,
+    "preferential_attachment": preferential_attachment_graph,
+    "caterpillar": caterpillar_graph,
+    "wheel": wheel_graph,
+    "edge_list": edge_list_graph,
 }
 
 

@@ -71,3 +71,44 @@ class TestMain:
     def test_verbose_flag(self, capsys):
         exit_code = main(["--verbose", "run", "--family", "star", "--n", "12"])
         assert exit_code == 0
+
+
+class TestSweepCommand:
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.jobs == 1
+        assert args.preset is None
+        assert args.resume is False
+
+    def test_sweep_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--preset", "e99"])
+
+    def test_sweep_grid_smoke(self, capsys):
+        exit_code = main(
+            ["sweep", "--families", "random_connected", "--sizes", "20",
+             "--algorithms", "elkin", "ghs", "--seeds", "0"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "elkin" in captured and "ghs" in captured
+        assert "2 cells (2 executed, 0 reused)" in captured
+
+    def test_sweep_with_store_and_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "runs.jsonl")
+        argv = ["sweep", "--families", "random_connected", "--sizes", "20",
+                "--seeds", "0", "1", "--output", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 reused" in first
+
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 reused" in second
+
+    def test_sweep_parallel_preset(self, capsys):
+        exit_code = main(["sweep", "--preset", "smoke", "--jobs", "2", "--no-verify"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "16 cells (16 executed, 0 reused)" in captured

@@ -9,13 +9,16 @@ from repro.exceptions import GraphError
 from repro.graphs import (
     GraphSpec,
     barbell_graph,
+    caterpillar_graph,
     complete_graph,
     cycle_graph,
+    edge_list_graph,
     grid_graph,
     hop_diameter,
     lollipop_graph,
     make_graph,
     path_graph,
+    preferential_attachment_graph,
     random_connected_graph,
     random_geometric_connected_graph,
     random_regular_connected_graph,
@@ -23,6 +26,7 @@ from repro.graphs import (
     star_graph,
     torus_graph,
     weights_are_unique,
+    wheel_graph,
 )
 
 
@@ -39,6 +43,9 @@ ALL_GENERATOR_CALLS = [
     lambda: random_geometric_connected_graph(25, seed=1),
     lambda: lollipop_graph(6, 10, seed=1),
     lambda: barbell_graph(5, 6, seed=1),
+    lambda: preferential_attachment_graph(24, seed=1),
+    lambda: caterpillar_graph(21, seed=1),
+    lambda: wheel_graph(14, seed=1),
 ]
 
 
@@ -147,6 +154,62 @@ class TestValidationErrors:
     def test_edge_probability_out_of_range(self):
         with pytest.raises(GraphError):
             random_connected_graph(10, edge_probability=1.5)
+
+
+class TestNewFamilies:
+    def test_preferential_attachment_edge_count(self):
+        graph = preferential_attachment_graph(30, attachments=2, seed=5)
+        # BA with m = 2: (n - m) arrivals each add m edges.
+        assert graph.number_of_edges() == (30 - 2) * 2
+        assert hop_diameter(graph) <= 8
+
+    def test_preferential_attachment_rejects_bad_attachments(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(10, attachments=0)
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(10, attachments=10)
+
+    def test_caterpillar_is_a_tree_with_spine_diameter(self):
+        graph = caterpillar_graph(20, spine=10, seed=2)
+        assert graph.number_of_nodes() == 20
+        assert graph.number_of_edges() == 19  # a tree
+        # Legs hang off the spine: diameter ~ spine (+ leg hops).
+        assert 9 <= hop_diameter(graph) <= 12
+
+    def test_caterpillar_default_spine(self):
+        graph = caterpillar_graph(15, seed=2)
+        assert graph.number_of_nodes() == 15
+
+    def test_caterpillar_rejects_bad_spine(self):
+        with pytest.raises(GraphError):
+            caterpillar_graph(10, spine=11)
+
+    def test_wheel_shape(self):
+        graph = wheel_graph(12, seed=3)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 2 * 11
+        assert hop_diameter(graph) == 2
+
+    def test_wheel_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            wheel_graph(3)
+
+    def test_edge_list_builds_verbatim_weights(self):
+        graph = edge_list_graph([(0, 1, 2.5), (1, 2, 1.5), (0, 2, 9.0)])
+        assert graph.number_of_nodes() == 3
+        assert graph[0][1]["weight"] == 2.5
+
+    def test_edge_list_rejects_disconnected(self):
+        with pytest.raises(GraphError):
+            edge_list_graph([(0, 1, 1.0)], nodes=[0, 1, 2, 3])
+
+    def test_edge_list_keeps_node_labels_verbatim(self):
+        graph = edge_list_graph([(1, 2, 1.0), (2, 3, 2.0)])
+        assert sorted(graph.nodes()) == [1, 2, 3]
+
+    def test_new_families_registered(self):
+        for family in ("preferential_attachment", "caterpillar", "wheel", "edge_list"):
+            assert family in __import__("repro.graphs.generators", fromlist=["FAMILIES"]).FAMILIES
 
 
 class TestGraphSpec:
