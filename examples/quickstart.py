@@ -9,6 +9,10 @@ round/message costs next to the theorem bounds.
 Run with::
 
     python examples/quickstart.py [n] [seed]
+
+This example drives ``compute_mst`` directly for a minimal surface; see
+``examples/scenario_api.py`` for the scenario-first facade
+(:mod:`repro.api`) that the rest of the tooling is built on.
 """
 
 from __future__ import annotations

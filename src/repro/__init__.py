@@ -12,7 +12,16 @@ Garay-Kutten-Peleg with Pipeline-MST, a PRS16-style second phase), a
 verification layer, and the benchmark harness that reproduces the
 paper's complexity claims.
 
-Quickstart::
+Quickstart (the scenario-first API)::
+
+    from repro import GraphSpec, Runner, Scenario
+
+    outcome = Runner().run(
+        Scenario(graph=GraphSpec("random_connected", {"n": 200, "seed": 7}))
+    )
+    print(outcome.result.rounds, outcome.result.messages)
+
+The direct entrypoint is still available::
 
     from repro import compute_mst, random_connected_graph
 
@@ -20,12 +29,28 @@ Quickstart::
     result = compute_mst(graph)
     print(result.rounds, result.messages, result.total_weight)
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-versus-measured record.
+See README.md for the architecture overview (including the migration
+table from the legacy entrypoints to scenarios) and EXPERIMENTS.md for
+the paper-versus-measured record.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+from .algorithms import (
+    AlgorithmInfo,
+    algorithm_info,
+    algorithm_registry,
+    available_algorithms,
+    register_algorithm,
+)
+from .api import (
+    ProgressReporter,
+    RunObserver,
+    Runner,
+    Scenario,
+    ScenarioOutcome,
+    TelemetryCollector,
+)
 from .config import RunConfig
 from .core.elkin_mst import compute_mst
 from .core.controlled_ghs import build_base_forest
@@ -50,6 +75,17 @@ from .simulator.network import SyncNetwork
 from .types import CostReport
 
 __all__ = [
+    "AlgorithmInfo",
+    "ProgressReporter",
+    "RunObserver",
+    "Runner",
+    "Scenario",
+    "ScenarioOutcome",
+    "TelemetryCollector",
+    "algorithm_info",
+    "algorithm_registry",
+    "available_algorithms",
+    "register_algorithm",
     "RunConfig",
     "Campaign",
     "CampaignReport",

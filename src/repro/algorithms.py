@@ -1,49 +1,232 @@
-"""Registry of the distributed MST algorithms this package implements.
+"""Capability-aware registry of the MST algorithms this package implements.
 
-The experiment runners (:mod:`repro.analysis.experiments`) and the
-campaign orchestration layer (:mod:`repro.campaign`) both need to turn
-an algorithm *name* into a callable ``(graph, RunConfig) -> MSTRunResult``.
-Keeping the registry in its own leaf module lets both layers share one
-source of truth without importing each other.
+Every runnable algorithm -- the paper's, the distributed baselines and
+the sequential references -- is described by an :class:`AlgorithmInfo`:
+the runner callable plus the capability metadata sweep tooling needs to
+reason about it (is it distributed? does the CONGEST bandwidth affect
+it? which complexity class do its round/message counts belong to?).
+
+The experiment runners (:mod:`repro.analysis.experiments`), the campaign
+layer (:mod:`repro.campaign`) and the scenario facade (:mod:`repro.api`)
+all dispatch by *name* through :func:`run_algorithm`, so this module is
+the single place where a name becomes a callable.  Keeping it a leaf
+module lets every layer share one source of truth without importing each
+other.
+
+Third-party algorithms join via :func:`register_algorithm`; the
+sequential references ride on the adapter in
+:mod:`repro.baselines.sequential`, which is what makes ``kruskal`` /
+``prim`` / ``boruvka_seq`` legal values everywhere an algorithm name is
+accepted (``compare_algorithms``, ``repro-mst sweep --algorithms``, ...).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
 
 import networkx as nx
 
+from .baselines.boruvka_seq import boruvka_mst
 from .baselines.ghs import ghs_style_mst
 from .baselines.gkp import gkp_mst
+from .baselines.kruskal import kruskal_mst
+from .baselines.prim import prim_mst
 from .baselines.prs import prs_style_mst
+from .baselines.sequential import sequential_runner
 from .config import RunConfig
 from .core.elkin_mst import compute_mst
 from .core.results import MSTRunResult
 from .exceptions import ConfigurationError
 
-#: Algorithm name -> runner.  All runners share the RunConfig contract.
-ALGORITHMS: Dict[str, Callable[[nx.Graph, RunConfig], MSTRunResult]] = {
-    "elkin": compute_mst,
-    "ghs": ghs_style_mst,
-    "gkp": gkp_mst,
-    "prs": prs_style_mst,
-}
+#: The runner contract every registered algorithm implements.
+AlgorithmRunner = Callable[[nx.Graph, Optional[RunConfig]], MSTRunResult]
 
 
-def available_algorithms() -> List[str]:
-    """Sorted names accepted by ``algorithm`` arguments across the package."""
-    return sorted(ALGORITHMS)
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registry entry: the runner plus its capability metadata.
+
+    Attributes:
+        name: identifier accepted by every ``algorithm`` argument.
+        runner: callable implementing the
+            ``(graph, Optional[RunConfig]) -> MSTRunResult`` contract.
+        family: coarse grouping for presentation -- ``"paper"``,
+            ``"distributed-baseline"`` or ``"sequential-baseline"``.
+        description: one-line human description.
+        is_distributed: False for local (non-simulated) computations;
+            such runners report ``rounds = messages = 0``.
+        supports_bandwidth: True when the CONGEST(b log n) bandwidth
+            parameter changes the runner's measured costs; sequential
+            references record ``b`` but ignore it.
+        round_bound: asymptotic round-complexity class (informational).
+        message_bound: asymptotic message-complexity class (informational).
+    """
+
+    name: str
+    runner: AlgorithmRunner
+    family: str
+    description: str = ""
+    is_distributed: bool = True
+    supports_bandwidth: bool = True
+    round_bound: str = ""
+    message_bound: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"algorithm name must be a non-empty string, got {self.name!r}"
+            )
+        if not callable(self.runner):
+            raise ConfigurationError(f"runner of algorithm {self.name!r} is not callable")
 
 
-def run_algorithm(graph: nx.Graph, algorithm: str, config: RunConfig) -> MSTRunResult:
-    """Run ``algorithm`` (by name) on ``graph`` under ``config``.
+_REGISTRY: Dict[str, AlgorithmInfo] = {}
+
+
+def register_algorithm(info: AlgorithmInfo) -> None:
+    """Register ``info`` under ``info.name``.
+
+    Registering a name twice replaces the previous entry, which lets
+    tests substitute instrumented runners.
+    """
+    _REGISTRY[info.name] = info
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """The :class:`AlgorithmInfo` registered under ``name``.
 
     Raises :class:`~repro.exceptions.ConfigurationError` for unknown
     names; the message lists the available algorithms so sweep typos are
     easy to diagnose.
     """
-    if algorithm not in ALGORITHMS:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
         raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; available: {', '.join(available_algorithms())}"
-        )
-    return ALGORITHMS[algorithm](graph, config)
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from None
+
+
+def available_algorithms(distributed_only: bool = False) -> List[str]:
+    """Sorted names accepted by ``algorithm`` arguments across the package."""
+    return sorted(
+        name
+        for name, info in _REGISTRY.items()
+        if info.is_distributed or not distributed_only
+    )
+
+
+def algorithm_registry() -> Mapping[str, AlgorithmInfo]:
+    """Read-only snapshot of the registry (name -> info)."""
+    return dict(_REGISTRY)
+
+
+def run_algorithm(
+    graph: nx.Graph, algorithm: str, config: Optional[RunConfig] = None
+) -> MSTRunResult:
+    """Run ``algorithm`` (by name) on ``graph`` under ``config``.
+
+    This is the single dispatch point every layer funnels through.  A
+    generator seed threaded in via ``config.seed`` is recorded in
+    ``result.details`` so provenance survives serialization regardless of
+    which entrypoint assembled the config.
+    """
+    info = algorithm_info(algorithm)
+    config = config if config is not None else RunConfig()
+    result = info.runner(graph, config)
+    if config.seed is not None:
+        result.details.setdefault("seed", config.seed)
+    return result
+
+
+# -- built-in entries ----------------------------------------------------
+
+register_algorithm(
+    AlgorithmInfo(
+        name="elkin",
+        runner=compute_mst,
+        family="paper",
+        description="Elkin's deterministic MST (PODC 2017), diameter-sensitive base forest",
+        round_bound="O((D + sqrt(n/b)) log n + log^2 n)",
+        message_bound="O(|E| log n + n log n log* n)",
+    )
+)
+register_algorithm(
+    AlgorithmInfo(
+        name="ghs",
+        runner=ghs_style_mst,
+        family="distributed-baseline",
+        description="GHS-style synchronous Boruvka (no fragment-diameter control)",
+        supports_bandwidth=True,
+        round_bound="O(n log n)",
+        message_bound="O((|E| + n) log n)",
+    )
+)
+register_algorithm(
+    AlgorithmInfo(
+        name="gkp",
+        runner=gkp_mst,
+        family="distributed-baseline",
+        description="Garay-Kutten-Peleg: Controlled-GHS with k = sqrt(n) + Pipeline-MST",
+        round_bound="O(D + sqrt(n) log* n)",
+        message_bound="Theta(|E| + n^(3/2))",
+    )
+)
+register_algorithm(
+    AlgorithmInfo(
+        name="prs",
+        runner=prs_style_mst,
+        family="distributed-baseline",
+        description="PRS16-style second phase over a forced sqrt(n) base forest",
+        round_bound="O((D + sqrt(n)) log n)",
+        message_bound="Theta(D sqrt(n)) per phase on high-D graphs",
+    )
+)
+register_algorithm(
+    AlgorithmInfo(
+        name="kruskal",
+        runner=sequential_runner("kruskal", kruskal_mst),
+        family="sequential-baseline",
+        description="Sequential Kruskal (union-find); verification ground truth",
+        is_distributed=False,
+        supports_bandwidth=False,
+        round_bound="0 (local computation)",
+        message_bound="0 (local computation)",
+    )
+)
+register_algorithm(
+    AlgorithmInfo(
+        name="prim",
+        runner=sequential_runner("prim", prim_mst),
+        family="sequential-baseline",
+        description="Sequential Prim (binary heap); second independent reference",
+        is_distributed=False,
+        supports_bandwidth=False,
+        round_bound="0 (local computation)",
+        message_bound="0 (local computation)",
+    )
+)
+register_algorithm(
+    AlgorithmInfo(
+        name="boruvka_seq",
+        runner=sequential_runner("boruvka_seq", boruvka_mst),
+        family="sequential-baseline",
+        description="Sequential Boruvka phases; simulator-free mirror of the distributed shape",
+        is_distributed=False,
+        supports_bandwidth=False,
+        round_bound="0 (local computation)",
+        message_bound="0 (local computation)",
+    )
+)
+
+
+def _algorithms_view() -> Dict[str, AlgorithmRunner]:
+    """Legacy ``ALGORITHMS`` mapping (name -> bare runner)."""
+    return {name: info.runner for name, info in _REGISTRY.items()}
+
+
+#: Deprecated compatibility view of the registry.  Computed once at
+#: import; use :func:`algorithm_registry` / :func:`register_algorithm`
+#: to observe or mutate the live registry.
+ALGORITHMS: Dict[str, AlgorithmRunner] = _algorithms_view()

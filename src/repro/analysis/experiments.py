@@ -1,12 +1,16 @@
-"""Experiment runners shared by the benchmark harness and the examples.
+"""Legacy experiment runners (deprecated shims over :mod:`repro.api`).
 
-Since the campaign refactor these runners are thin wrappers over
-:mod:`repro.campaign`: each call is expressed as a one-shot
-:class:`~repro.campaign.spec.Campaign` and executed serially against an
-in-memory run store, so the examples, the benchmarks and the
-``repro-mst sweep`` CLI all share one execution path.  The historical
-signatures are preserved; output rows are a superset of the historical
-columns (``engine`` and ``seed`` are now recorded for provenance).
+These entrypoints predate the scenario facade and are kept working for
+existing notebooks, benchmarks and examples.  New code should build
+:class:`~repro.api.Scenario` objects and execute them through a
+:class:`~repro.api.Runner` (see the README's Migration section for the
+exact mapping); the shims here construct those scenarios internally, so
+both spellings share one execution path and produce identical rows.
+
+``run_single`` is the one exception: it is not a shim but the package's
+*single-execution contract* -- the campaign executor (and therefore the
+facade) calls it for every cell, so a direct call and a sweep cell can
+never diverge.
 """
 
 from __future__ import annotations
@@ -45,12 +49,17 @@ def run_single(
     collect_telemetry: bool = True,
     strict_bounds: bool = False,
 ) -> MSTRunResult:
-    """Run one distributed MST algorithm on ``graph`` and (optionally) verify it.
+    """Run one MST algorithm on ``graph`` and (optionally) verify it.
 
-    ``seed`` (provenance of the generator that produced ``graph``),
-    ``collect_telemetry`` and ``strict_bounds`` are threaded into the
-    :class:`~repro.config.RunConfig` verbatim; a provided seed is also
-    recorded in ``result.details`` so it survives serialization.
+    This is the bottom of every execution path: the campaign executor
+    drives each cell through this function, and the :mod:`repro.api`
+    facade routes through the campaign executor.  ``seed`` (provenance
+    of the generator that produced ``graph``), ``collect_telemetry`` and
+    ``strict_bounds`` are threaded into the
+    :class:`~repro.config.RunConfig` verbatim; a provided seed is
+    recorded in ``result.details`` by the registry dispatch, so it is
+    captured whether it arrives via this argument or via a caller-built
+    config.
     """
     config = RunConfig(
         bandwidth=bandwidth,
@@ -61,13 +70,46 @@ def run_single(
         strict_bounds=strict_bounds,
     )
     result = run_algorithm(graph, algorithm, config)
-    if seed is not None:
-        result.details.setdefault("seed", seed)
     if verify:
         from ..verify.mst_checks import verify_mst_result
 
         verify_mst_result(graph, result)
     return result
+
+
+def _facade_rows(
+    graphs: Sequence[object],
+    algorithms: Sequence[str],
+    bandwidths: Sequence[int],
+    engine: str,
+    verify: bool,
+    compute_diameter: bool,
+    label: Optional[str] = None,
+) -> List[ExperimentRow]:
+    """Expand the axes into scenarios and run them through one Runner."""
+    from ..api import Runner, Scenario
+    from ..campaign.spec import inline_graph_spec
+
+    # Normalize each distinct graph once, not once per expanded cell:
+    # serializing a prebuilt graph into an edge_list spec is O(m).
+    graphs = [
+        graph if isinstance(graph, GraphSpec) else inline_graph_spec(graph)
+        for graph in graphs
+    ]
+    scenarios = [
+        Scenario(
+            graph=graph,
+            algorithm=algorithm,
+            config=RunConfig(bandwidth=bandwidth, engine=engine),
+            verify=verify,
+            label=label,
+        )
+        for graph in graphs
+        for algorithm in algorithms
+        for bandwidth in bandwidths
+    ]
+    runner = Runner(compute_diameter=compute_diameter)
+    return [outcome.row for outcome in runner.run_many(scenarios)]
 
 
 def sweep_graphs(
@@ -80,23 +122,18 @@ def sweep_graphs(
 ) -> List[ExperimentRow]:
     """Run ``algorithm`` on every spec and report one row per instance.
 
+    .. deprecated:: 1.3
+        Shim over :class:`repro.api.Runner`; build scenarios directly in
+        new code.
+
     Rows include the measured rounds/messages and, for the paper's
     algorithm, the theorem bounds evaluated on the same instance together
     with the measured/bound ratios (values below 1.0 mean the bound
     holds with the calibrated constants).
     """
-    from ..campaign.executor import execute_campaign
-    from ..campaign.spec import Campaign
-
-    campaign = Campaign.from_grid(
-        "sweep_graphs",
-        graphs=list(specs),
-        algorithms=(algorithm,),
-        bandwidths=(bandwidth,),
-        engines=(engine,),
-        verify=verify,
+    return _facade_rows(
+        list(specs), (algorithm,), (bandwidth,), engine, verify, compute_diameter
     )
-    return execute_campaign(campaign, jobs=1, compute_diameter=compute_diameter).rows
 
 
 def compare_algorithms(
@@ -110,24 +147,26 @@ def compare_algorithms(
 ) -> List[ExperimentRow]:
     """Run several algorithms on the same instance (the head-to-head experiments).
 
+    .. deprecated:: 1.3
+        Shim over :class:`repro.api.Runner`; build scenarios directly in
+        new code.
+
     The prebuilt ``graph`` is serialized into an ``edge_list`` spec, so
     the instance description (including the hop-diameter) is computed
     once and shared across all algorithm cells via the run store's
-    graph-description cache.
+    graph-description cache.  Sequential references (``kruskal``,
+    ``prim``, ``boruvka_seq``) are valid algorithm names; their rows
+    report zero rounds and messages.
     """
-    from ..campaign.executor import execute_campaign
-    from ..campaign.spec import Campaign, inline_graph_spec
-
-    campaign = Campaign.from_grid(
-        "compare_algorithms",
-        graphs=[inline_graph_spec(graph)],
-        algorithms=tuple(algorithms),
-        bandwidths=(bandwidth,),
-        engines=(engine,),
-        labels=[label or "instance"],
-        verify=verify,
+    return _facade_rows(
+        [graph],
+        tuple(algorithms),
+        (bandwidth,),
+        engine,
+        verify,
+        compute_diameter,
+        label=label or "instance",
     )
-    return execute_campaign(campaign, jobs=1, compute_diameter=compute_diameter).rows
 
 
 def sweep_bandwidth(
@@ -138,17 +177,18 @@ def sweep_bandwidth(
     label: str = "",
     engine: str = DEFAULT_ENGINE,
 ) -> List[ExperimentRow]:
-    """Run the same instance under several CONGEST(b log n) bandwidths (Theorem 3.2)."""
-    from ..campaign.executor import execute_campaign
-    from ..campaign.spec import Campaign, inline_graph_spec
+    """Run the same instance under several CONGEST(b log n) bandwidths (Theorem 3.2).
 
-    campaign = Campaign.from_grid(
-        "sweep_bandwidth",
-        graphs=[inline_graph_spec(graph)],
-        algorithms=(algorithm,),
-        bandwidths=tuple(bandwidths),
-        engines=(engine,),
-        labels=[label or "instance"],
-        verify=verify,
+    .. deprecated:: 1.3
+        Shim over :class:`repro.api.Runner`; build scenarios directly in
+        new code.
+    """
+    return _facade_rows(
+        [graph],
+        (algorithm,),
+        tuple(bandwidths),
+        engine,
+        verify,
+        compute_diameter=True,
+        label=label or "instance",
     )
-    return execute_campaign(campaign, jobs=1).rows

@@ -1,0 +1,126 @@
+"""Lifecycle hooks: observe scenario executions as they happen.
+
+The :class:`~repro.api.runner.Runner` (and, underneath it, the campaign
+executor) emits three events per executed cell:
+
+* ``on_run_start(spec)`` -- the cell is about to be simulated;
+* ``on_phase(spec, phase)`` -- one recorded
+  :class:`~repro.types.PhaseTelemetry` of the completed run (emitted in
+  phase order, after the run finishes -- the simulator is synchronous,
+  so phases are replayed from the result rather than streamed);
+* ``on_result(spec, result, row)`` -- the cell finished with ``result``
+  and produced the flat output ``row``.
+
+Observers implement any subset of :class:`RunObserver`; missing methods
+are simply skipped.  Two ready-made observers ship with the package:
+:class:`ProgressReporter` (human-readable progress lines) and
+:class:`TelemetryCollector` (accumulates per-phase telemetry across a
+whole sweep for the analysis layer).
+
+Resumed cells (already present in the run store) fire no events.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Protocol, TextIO, runtime_checkable
+
+from ..campaign.spec import RunSpec
+from ..core.results import MSTRunResult
+from ..types import PhaseTelemetry
+
+__all__ = ["RunObserver", "ProgressReporter", "TelemetryCollector"]
+
+
+@runtime_checkable
+class RunObserver(Protocol):
+    """Protocol for scenario-lifecycle observers (all methods optional)."""
+
+    def on_run_start(self, spec: RunSpec) -> None:
+        """Called right before a cell is simulated."""
+
+    def on_phase(self, spec: RunSpec, phase: PhaseTelemetry) -> None:
+        """Called once per recorded phase of a completed run, in order."""
+
+    def on_result(
+        self, spec: RunSpec, result: MSTRunResult, row: Dict[str, object]
+    ) -> None:
+        """Called when a cell completes."""
+
+
+class ProgressReporter:
+    """Observer printing one line per lifecycle event to a stream.
+
+    The default stream is stderr so progress does not pollute piped
+    table output.  ``phases=True`` additionally prints one line per
+    recorded algorithm phase (verbose on large sweeps).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, phases: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.phases = phases
+        self.started = 0
+        self.finished = 0
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream)
+
+    def on_run_start(self, spec: RunSpec) -> None:
+        self.started += 1
+        self._emit(
+            f"[{self.started}] run {spec.algorithm} on {spec.display_label()} "
+            f"(b={spec.bandwidth}, engine={spec.engine})"
+        )
+
+    def on_phase(self, spec: RunSpec, phase: PhaseTelemetry) -> None:
+        if self.phases:
+            self._emit(
+                f"    phase {phase.phase}: {phase.fragments_before} -> "
+                f"{phase.fragments_after} fragments, {phase.rounds} rounds, "
+                f"{phase.messages} messages"
+            )
+
+    def on_result(
+        self, spec: RunSpec, result: MSTRunResult, row: Dict[str, object]
+    ) -> None:
+        self.finished += 1
+        self._emit(
+            f"    done: {result.rounds} rounds, {result.messages} messages, "
+            f"weight {result.total_weight:.3f}"
+        )
+
+
+class TelemetryCollector:
+    """Observer accumulating per-phase telemetry rows across a sweep.
+
+    Each collected row is flat and JSON-safe (scenario provenance plus
+    the phase counters), so a whole sweep's phase decomposition can be
+    dumped straight into the analysis tables -- this is the
+    campaign-scale version of what ``bench_e10`` does for one run.
+    """
+
+    def __init__(self) -> None:
+        self.phase_rows: List[Dict[str, object]] = []
+        self.run_rows: List[Dict[str, object]] = []
+
+    def on_phase(self, spec: RunSpec, phase: PhaseTelemetry) -> None:
+        self.phase_rows.append(
+            {
+                "graph": spec.display_label(),
+                "algorithm": spec.algorithm,
+                "bandwidth": spec.bandwidth,
+                "engine": spec.engine,
+                "seed": spec.seed,
+                "phase": phase.phase,
+                "fragments_before": phase.fragments_before,
+                "fragments_after": phase.fragments_after,
+                "rounds": phase.rounds,
+                "messages": phase.messages,
+                "mst_edges_added": phase.mst_edges_added,
+            }
+        )
+
+    def on_result(
+        self, spec: RunSpec, result: MSTRunResult, row: Dict[str, object]
+    ) -> None:
+        self.run_rows.append(dict(row))

@@ -1,0 +1,164 @@
+"""The :class:`Runner` facade: the one execution path for every scenario.
+
+``Runner.run`` (one scenario), ``Runner.run_many`` (a batch, optionally
+on a worker pool) and ``Runner.stream`` (lazy iteration) all route
+through the campaign executor, so a one-off call gets exactly the
+services a 10k-cell sweep gets: verification against the sequential
+oracles, provenance stamping, run-store persistence with resume, the
+graph-description cache and lifecycle hooks.  There is deliberately no
+second code path -- the legacy entrypoints (``run_single``,
+``sweep_graphs``, ``compare_algorithms``, the CLI) are shims over this
+facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..campaign.executor import CampaignReport, execute_campaign
+from ..campaign.spec import Campaign
+from ..campaign.store import RunStore
+from ..core.results import MSTRunResult
+from ..exceptions import ConfigurationError
+from .scenario import Scenario
+
+__all__ = ["Runner", "ScenarioOutcome"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything one executed scenario produced.
+
+    Attributes:
+        scenario: the scenario that ran.
+        row: the flat, JSON-safe output row (same columns a campaign
+            sweep reports: instance description, measured costs and --
+            for the paper's algorithm -- the theorem-bound ratios).
+        result: the full :class:`~repro.core.results.MSTRunResult`.
+        reused: True when the run store already held the cell and the
+            execution was skipped (resume).
+    """
+
+    scenario: Scenario
+    row: Dict[str, object]
+    result: MSTRunResult
+    reused: bool = False
+
+
+class Runner:
+    """Scenario executor with a persistent store and lifecycle hooks.
+
+    Args:
+        store: a :class:`~repro.campaign.store.RunStore`, a path to a
+            JSONL store file, or ``None`` for a private in-memory store.
+        resume: when True (default), scenarios whose content hash is
+            already in the store are answered from it without
+            re-simulating.
+        hooks: lifecycle observers (see :mod:`repro.api.hooks`).
+        compute_diameter: include the hop-diameter in instance
+            descriptions (the one expensive description column).
+    """
+
+    def __init__(
+        self,
+        store: Union[RunStore, str, None] = None,
+        resume: bool = True,
+        hooks: Sequence[object] = (),
+        compute_diameter: bool = True,
+    ) -> None:
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self.resume = resume
+        self.hooks: List[object] = list(hooks)
+        self.compute_diameter = compute_diameter
+
+    def add_hook(self, hook: object) -> None:
+        """Attach a lifecycle observer to every subsequent execution."""
+        self.hooks.append(hook)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, scenario: Scenario) -> ScenarioOutcome:
+        """Execute one scenario and return its outcome."""
+        return self.run_many([scenario])[0]
+
+    def run_many(
+        self, scenarios: Iterable[Scenario], jobs: int = 1
+    ) -> List[ScenarioOutcome]:
+        """Execute a batch of scenarios, optionally on a process pool.
+
+        Scenarios may disagree on their ``verify`` policy; the batch is
+        partitioned into at most two campaigns (verified / unverified)
+        and the outcomes are returned in input order either way.  With
+        ``jobs > 1`` rows are identical to the serial ones -- the pool
+        only changes wall-clock time.
+        """
+        scenarios = list(scenarios)
+        for position, scenario in enumerate(scenarios):
+            if not isinstance(scenario, Scenario):
+                raise ConfigurationError(
+                    f"run_many expects Scenario instances, got "
+                    f"{type(scenario).__name__} at position {position}"
+                )
+        outcomes: List[Optional[ScenarioOutcome]] = [None] * len(scenarios)
+        for verify in (True, False):
+            # Scenario coerces verify to a bool, so the two partitions
+            # cover every input.
+            positions = [
+                index for index, s in enumerate(scenarios) if s.verify is verify
+            ]
+            if not positions:
+                continue
+            report = self._execute(
+                [scenarios[index] for index in positions], verify=verify, jobs=jobs
+            )
+            for index, outcome in zip(positions, self._outcomes_of(report)):
+                outcomes[index] = outcome
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def stream(self, scenarios: Iterable[Scenario]) -> Iterator[ScenarioOutcome]:
+        """Lazily execute scenarios one by one, yielding each outcome.
+
+        The scenarios share this runner's store, so repeated graphs hit
+        the description cache and duplicate scenarios resume instead of
+        re-simulating.  Useful for driving a sweep from a generator or
+        reacting to outcomes mid-flight.
+        """
+        for scenario in scenarios:
+            yield self.run(scenario)
+
+    # -- internals -------------------------------------------------------
+
+    def _execute(
+        self, scenarios: List[Scenario], verify: bool, jobs: int
+    ) -> CampaignReport:
+        campaign = Campaign(
+            name="api-runner",
+            specs=[scenario.to_run_spec() for scenario in scenarios],
+            verify=verify,
+        )
+        return execute_campaign(
+            campaign,
+            store=self.store,
+            jobs=jobs,
+            resume=self.resume,
+            compute_diameter=self.compute_diameter,
+            observers=self.hooks,
+        )
+
+    def _outcomes_of(self, report: CampaignReport) -> List[ScenarioOutcome]:
+        store = report.store
+        assert store is not None
+        reused = set(report.reused_indexes)
+        outcomes = []
+        for index, (spec, row) in enumerate(zip(report.campaign.specs, report.rows)):
+            outcomes.append(
+                ScenarioOutcome(
+                    scenario=Scenario.from_run_spec(spec, verify=report.campaign.verify),
+                    row=row,
+                    result=store.get_result(spec.run_key()),
+                    reused=index in reused,
+                )
+            )
+        return outcomes

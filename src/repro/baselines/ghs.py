@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from ..config import RunConfig
+from ..config import RunConfig, normalize_config
 from ..exceptions import FragmentError
 from ..graphs.properties import validate_weighted_graph
 from ..core.boruvka_merge import merge_fragment_graph
@@ -37,7 +37,7 @@ from ..types import CostReport, Edge, FragmentId, PhaseTelemetry, VertexId
 
 def ghs_style_mst(graph: nx.Graph, config: Optional[RunConfig] = None) -> MSTRunResult:
     """Compute the MST with the GHS-style synchronous Boruvka baseline."""
-    config = config or RunConfig()
+    config = normalize_config(config)
     validate_weighted_graph(graph, require_unique_weights=True)
     n = graph.number_of_nodes()
     if n == 1:

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Set
 
 import networkx as nx
 
-from ..config import RunConfig
+from ..config import RunConfig, normalize_config
 from ..exceptions import FragmentError
 from ..graphs.properties import validate_weighted_graph
 from ..core.controlled_ghs import build_base_forest
@@ -38,7 +38,7 @@ def gkp_mst(
     root: Optional[VertexId] = None,
 ) -> MSTRunResult:
     """Compute the MST with the Garay-Kutten-Peleg two-phase baseline."""
-    config = config or RunConfig()
+    config = normalize_config(config)
     validate_weighted_graph(graph, require_unique_weights=True)
     n = graph.number_of_nodes()
     if n == 1:

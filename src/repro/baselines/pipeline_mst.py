@@ -19,7 +19,7 @@ modelled.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..exceptions import ProtocolError
 from ..simulator.message import Message

@@ -23,7 +23,7 @@ from typing import Optional
 
 import networkx as nx
 
-from ..config import RunConfig
+from ..config import RunConfig, normalize_config
 from ..core.elkin_mst import compute_mst
 from ..core.results import MSTRunResult
 from ..types import VertexId
@@ -35,7 +35,7 @@ def prs_style_mst(
     root: Optional[VertexId] = None,
 ) -> MSTRunResult:
     """Compute the MST with the sqrt(n)-base-forest (PRS16-style) strategy."""
-    config = config or RunConfig()
+    config = normalize_config(config)
     n = graph.number_of_nodes()
     forced_k = max(1, min(math.ceil(math.sqrt(max(n, 1))), max(1, n // 10)))
     forced_config = dataclasses.replace(config, base_forest_k=forced_k)

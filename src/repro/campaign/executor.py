@@ -103,6 +103,8 @@ def run_spec(
         base_forest_k=spec.base_forest_k,
         engine=spec.engine,
         seed=spec.seed,
+        collect_telemetry=spec.collect_telemetry,
+        strict_bounds=spec.strict_bounds,
     )
     return _build_row(spec, description, result), result
 
@@ -146,6 +148,21 @@ def _map_payloads(worker, payloads: Sequence[object], jobs: int) -> List[object]
         return pool.map(worker, payloads, chunksize=1)
 
 
+def _notify(observers: Sequence[object], method: str, *args: object) -> None:
+    """Dispatch a lifecycle event to every observer implementing it.
+
+    Observers follow the :class:`repro.api.hooks.RunObserver` protocol
+    (``on_run_start`` / ``on_phase`` / ``on_result``); each method is
+    optional, so plain objects implementing a subset work too.  The
+    executor duck-types the dispatch to stay importable without the api
+    layer.
+    """
+    for observer in observers:
+        hook = getattr(observer, method, None)
+        if hook is not None:
+            hook(*args)
+
+
 def _provenance(spec: RunSpec, executor: str, verified: bool) -> Dict[str, object]:
     from .. import __version__
 
@@ -176,6 +193,8 @@ class CampaignReport:
             their run key (resume).
         described: number of instance descriptions computed by this
             call (cache misses of the graph-description cache).
+        reused_indexes: campaign indexes of the cells answered from the
+            store (sorted); ``reused == len(reused_indexes)``.
         store: the run store the campaign was executed against.
     """
 
@@ -184,6 +203,7 @@ class CampaignReport:
     executed: int = 0
     reused: int = 0
     described: int = 0
+    reused_indexes: List[int] = field(default_factory=list)
     store: Optional[RunStore] = None
 
     def summary(self) -> str:
@@ -200,6 +220,7 @@ def execute_campaign(
     resume: bool = True,
     verify: Optional[bool] = None,
     compute_diameter: bool = True,
+    observers: Sequence[object] = (),
 ) -> CampaignReport:
     """Execute every cell of ``campaign`` and return the ordered rows.
 
@@ -217,6 +238,12 @@ def execute_campaign(
             against the sequential oracle inside the worker).
         compute_diameter: include the hop-diameter ``D`` in instance
             descriptions (the one expensive description field).
+        observers: lifecycle hooks (see
+            :class:`repro.api.hooks.RunObserver`).  Serial execution
+            interleaves events with the cells; parallel execution fires
+            every ``on_run_start`` at dispatch time and the
+            ``on_phase`` / ``on_result`` events in campaign order once
+            the pool drains.  Resumed cells fire no events.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -289,8 +316,19 @@ def execute_campaign(
         for index, spec, _ in pending
     ]
     fresh: Dict[int, Row] = {}
-    outcomes = _map_payloads(_run_worker, payloads, jobs)
-    for (index, spec, _), (out_index, row, result_json, used) in zip(pending, outcomes):
+    serial = jobs <= 1 or len(payloads) <= 1
+    if serial:
+        # Run inline below so observers see each cell's events as it runs.
+        outcomes: List[object] = [None] * len(payloads)
+    else:
+        for _, spec, _ in pending:
+            _notify(observers, "on_run_start", spec)
+        outcomes = _map_payloads(_run_worker, payloads, jobs)
+    for (index, spec, _), payload, outcome in zip(pending, payloads, outcomes):
+        if serial:
+            _notify(observers, "on_run_start", spec)
+            outcome = _run_worker(payload)
+        out_index, row, result_json, used = outcome
         assert index == out_index
         graph_key = spec.graph_key()
         if (
@@ -303,6 +341,11 @@ def execute_campaign(
             described += 1
         store.record_run(spec, row, result_json, _provenance(spec, executor_name, do_verify))
         fresh[index] = row
+        if observers:
+            result = MSTRunResult.from_json_dict(result_json)
+            for phase in result.phases:
+                _notify(observers, "on_phase", spec, phase)
+            _notify(observers, "on_result", spec, result, row)
 
     rows = [
         fresh[index] if index in fresh else store.get_row(reused_keys[index])
@@ -314,5 +357,6 @@ def execute_campaign(
         executed=len(fresh),
         reused=len(reused_keys),
         described=described,
+        reused_indexes=sorted(reused_keys),
         store=store,
     )

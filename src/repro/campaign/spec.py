@@ -106,6 +106,11 @@ class RunSpec:
             and is recorded in output rows for provenance.
         base_forest_k: explicit override of the paper's base-forest
             parameter ``k`` (``None`` applies the paper's rule).
+        collect_telemetry: record per-phase telemetry on the result
+            (the default).  Only a non-default value enters the content
+            hash, so pre-existing store keys stay valid.
+        strict_bounds: raise when measured costs exceed the theorem
+            bounds.  Same hash rule as ``collect_telemetry``.
         label: presentation-only row label.  Deliberately *excluded*
             from the content hash: relabeling a sweep must not invalidate
             its completed cells in the run store.
@@ -117,6 +122,8 @@ class RunSpec:
     engine: str = DEFAULT_ENGINE
     seed: Optional[int] = None
     base_forest_k: Optional[int] = None
+    collect_telemetry: bool = True
+    strict_bounds: bool = False
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -156,7 +163,7 @@ class RunSpec:
 
     def _identity(self) -> Dict[str, object]:
         spec = self.effective_graph_spec()
-        return {
+        identity: Dict[str, object] = {
             "graph": {"family": spec.family, "params": spec.params},
             "algorithm": self.algorithm,
             "bandwidth": self.bandwidth,
@@ -164,6 +171,14 @@ class RunSpec:
             "seed": self.seed,
             "base_forest_k": self.base_forest_k,
         }
+        # Non-default execution switches extend the identity; the default
+        # combination hashes exactly as it did before these fields
+        # existed, keeping old run stores resumable.
+        if not self.collect_telemetry:
+            identity["collect_telemetry"] = False
+        if self.strict_bounds:
+            identity["strict_bounds"] = True
+        return identity
 
     def run_key(self) -> str:
         """Content hash identifying this cell in the run store."""
@@ -194,6 +209,8 @@ class RunSpec:
                 if payload.get("base_forest_k") is None
                 else int(payload["base_forest_k"])
             ),
+            collect_telemetry=bool(payload.get("collect_telemetry", True)),
+            strict_bounds=bool(payload.get("strict_bounds", False)),
             label=payload.get("label"),
         )
 

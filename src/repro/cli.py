@@ -15,6 +15,14 @@ the sequential oracles and print an ASCII table with the measured rounds
 and messages.  ``sweep`` executes a whole campaign grid (a named preset
 or a cross-product of the supplied axes), optionally on a worker pool,
 against a persistent JSONL run store with resume semantics.
+
+Every subcommand is a thin shim over the scenario facade
+(:mod:`repro.api`): the CLI assembles :class:`~repro.api.Scenario`
+grids and a :class:`~repro.api.Runner` executes them, so command-line
+runs share the exact execution path (verification, provenance, store
+writes) of programmatic ones.  Sequential references (``kruskal``,
+``prim``, ``boruvka_seq``) are accepted wherever an algorithm name is;
+their rows report zero rounds and messages.
 """
 
 from __future__ import annotations
@@ -26,10 +34,10 @@ from typing import List, Optional
 from .algorithms import available_algorithms
 from .analysis.experiments import (
     compare_algorithms,
-    run_single,
     sweep_bandwidth,
 )
 from .analysis.tables import format_table
+from .api import Runner, Scenario
 from .campaign import (
     Campaign,
     RunStore,
@@ -38,6 +46,7 @@ from .campaign import (
     graph_spec_for,
     preset_campaign,
 )
+from .config import RunConfig
 from .graphs.generators import FAMILIES, make_graph
 from .graphs.properties import graph_summary
 from .logging_utils import enable_console_logging
@@ -236,9 +245,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     if args.command == "run":
-        result = run_single(
-            graph, algorithm=args.algorithm, bandwidth=args.bandwidth, engine=args.engine
+        scenario = Scenario(
+            graph=graph,
+            algorithm=args.algorithm,
+            config=RunConfig(bandwidth=args.bandwidth, engine=args.engine),
         )
+        # The hop-diameter was already printed from graph_summary above.
+        result = Runner(compute_diameter=False).run(scenario).result
         print(format_table([result.summary_row()]))
         print(f"MST weight: {result.total_weight:.3f} ({result.edge_count} edges, verified)")
     elif args.command == "compare":

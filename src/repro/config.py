@@ -67,4 +67,24 @@ class RunConfig:
             )
 
 
+def normalize_config(config: Optional[RunConfig]) -> RunConfig:
+    """The one way a runner turns its ``config`` argument into a RunConfig.
+
+    Every algorithm entrypoint (``compute_mst``, the distributed
+    baselines, the sequential-baseline adapter) accepts
+    ``config: Optional[RunConfig] = None`` and normalizes it through this
+    helper, so ``None`` handling and type checking cannot drift between
+    runners.  Returns a fresh default config for ``None`` and rejects
+    anything that is not a :class:`RunConfig` (a common mistake is
+    passing the bandwidth positionally).
+    """
+    if config is None:
+        return RunConfig()
+    if not isinstance(config, RunConfig):
+        raise ConfigurationError(
+            f"config must be a RunConfig or None, got {type(config).__name__}: {config!r}"
+        )
+    return config
+
+
 DEFAULT_CONFIG = RunConfig()

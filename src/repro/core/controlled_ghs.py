@@ -37,7 +37,7 @@ from ..simulator.primitives.convergecast import forest_convergecast
 from ..simulator.primitives.direct import send_over_edges
 from ..simulator.primitives.neighbor_exchange import neighbor_exchange
 from ..simulator.primitives.trees import RootedForest
-from ..types import CostReport, Edge, FragmentId, PhaseTelemetry, VertexId, normalize_edge
+from ..types import CostReport, Edge, FragmentId, PhaseTelemetry, VertexId
 from .cole_vishkin import cole_vishkin_coloring
 from .fragments import MSTForest
 from .maximal_matching import maximal_matching_from_coloring

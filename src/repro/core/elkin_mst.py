@@ -32,7 +32,7 @@ from typing import Dict, Optional, Set
 
 import networkx as nx
 
-from ..config import RunConfig
+from ..config import RunConfig, normalize_config
 from ..exceptions import FragmentError
 from ..graphs.properties import validate_weighted_graph
 from ..simulator.engine import create_engine
@@ -44,7 +44,6 @@ from ..simulator.primitives.pipeline import pipelined_downcast, pipelined_upcast
 from ..types import CostReport, Edge, FragmentId, PhaseTelemetry, VertexId
 from .boruvka_merge import merge_fragment_graph
 from .controlled_ghs import build_base_forest
-from .fragments import MSTForest
 from .mwoe import Candidate, fragment_outgoing_edges
 from .parameters import choose_base_forest_parameter
 from .results import MSTRunResult
@@ -72,7 +71,7 @@ def compute_mst(
         An :class:`~repro.core.results.MSTRunResult` with
         ``algorithm == "elkin"``.
     """
-    config = config or RunConfig()
+    config = normalize_config(config)
     validate_weighted_graph(graph, require_unique_weights=True)
     n = graph.number_of_nodes()
     if n == 1:

@@ -17,7 +17,7 @@ do not interfere with one another.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Iterable, List, Optional, Set, Tuple
 
 from ..exceptions import ConvergenceError, ProtocolError
 from ..types import VertexId

@@ -112,3 +112,27 @@ class TestSweepCommand:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "16 cells (16 executed, 0 reused)" in captured
+
+    def test_sweep_accepts_sequential_baseline(self, capsys):
+        """A sequential reference is sweepable and reports zero costs."""
+        exit_code = main(
+            ["sweep", "--families", "random_connected", "--sizes", "20",
+             "--algorithms", "elkin", "kruskal", "--seeds", "0"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        kruskal_rows = [line for line in captured.splitlines() if "kruskal" in line]
+        assert len(kruskal_rows) == 1
+        columns = kruskal_rows[0].split()
+        # rounds and messages columns are both 0 for a local computation.
+        assert columns.count("0") >= 2
+
+    def test_run_accepts_sequential_baseline(self, capsys):
+        exit_code = main(
+            ["run", "--family", "random_connected", "--n", "20", "--seed", "0",
+             "--algorithm", "boruvka_seq"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "boruvka_seq" in captured
+        assert "verified" in captured

@@ -1,0 +1,105 @@
+"""Error-path coverage for :mod:`repro.exceptions` across the layers.
+
+Asserts two properties of every name-lookup failure (algorithm, engine,
+preset, graph family): the raised type sits in the ``ReproError``
+hierarchy, and the message *lists the available options*, so a sweep
+typo is a one-glance fix.  Also covers the exception taxonomy itself and
+the actionable messages of scenario validation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import GraphSpec, RunConfig
+from repro.algorithms import algorithm_info, available_algorithms, run_algorithm
+from repro.api import Scenario
+from repro.campaign.presets import available_presets, preset_campaign
+from repro.campaign.spec import graph_spec_for
+from repro.exceptions import (
+    ConfigurationError,
+    DisconnectedGraphError,
+    GraphError,
+    ReproError,
+)
+from repro.graphs.generators import make_graph, random_connected_graph
+from repro.simulator.engine import available_engines, create_engine
+
+
+class TestUnknownNamesListOptions:
+    def test_unknown_algorithm_lists_all_registered(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_algorithm(random_connected_graph(6, seed=0), "bellman-ford", RunConfig())
+        message = str(excinfo.value)
+        for name in available_algorithms():
+            assert name in message
+
+    def test_algorithm_info_raises_the_same_message(self):
+        with pytest.raises(ConfigurationError, match="available:"):
+            algorithm_info("bogus")
+
+    def test_unknown_engine_lists_all_registered(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            create_engine(random_connected_graph(6, seed=0), engine="hyperdrive")
+        message = str(excinfo.value)
+        for name in available_engines():
+            assert name in message
+
+    def test_unknown_preset_lists_all_presets(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            preset_campaign("e99-imaginary")
+        message = str(excinfo.value)
+        for name in available_presets():
+            assert name in message
+
+    def test_unknown_family_lists_known_families(self):
+        with pytest.raises(GraphError, match="random_connected"):
+            make_graph("mystery", n=10)
+        with pytest.raises(ConfigurationError, match="known families"):
+            graph_spec_for("mystery", 10)
+
+
+class TestErrorHierarchy:
+    def test_every_lookup_error_is_a_repro_error(self):
+        for raiser in (
+            lambda: run_algorithm(random_connected_graph(5, seed=0), "nope", RunConfig()),
+            lambda: create_engine(random_connected_graph(5, seed=0), engine="nope"),
+            lambda: preset_campaign("nope"),
+            lambda: make_graph("nope", n=5),
+        ):
+            with pytest.raises(ReproError):
+                raiser()
+
+    def test_configuration_error_is_catchable_as_base(self):
+        try:
+            RunConfig(bandwidth=0)
+        except ReproError as error:
+            assert isinstance(error, ConfigurationError)
+        else:  # pragma: no cover - the construction must raise
+            pytest.fail("RunConfig(bandwidth=0) did not raise")
+
+
+class TestScenarioValidationMessages:
+    def test_disconnected_graph_message_is_actionable(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1.0)
+        graph.add_edge(2, 3, weight=2.0)
+        graph.add_edge(4, 5, weight=3.0)
+        with pytest.raises(DisconnectedGraphError) as excinfo:
+            Scenario(graph=graph)
+        message = str(excinfo.value)
+        assert "3 components" in message
+        assert "connected" in message
+
+    def test_bandwidth_message_names_the_model(self):
+        config = RunConfig()
+        config.bandwidth = -2
+        with pytest.raises(ConfigurationError, match="CONGEST"):
+            Scenario(graph=GraphSpec("path", {"n": 4, "seed": 0}), config=config)
+
+    def test_config_type_error_names_the_offender(self):
+        from repro.config import normalize_config
+
+        with pytest.raises(ConfigurationError, match="int"):
+            normalize_config(4)  # a classic: bandwidth passed positionally

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import BandwidthExceededError, SimulationError
-from repro.graphs import path_graph, random_connected_graph
+from repro.graphs import path_graph
 from repro.simulator.message import Message
 from repro.simulator.metrics import Metrics
 from repro.simulator.network import SyncNetwork

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import dataclasses
-import math
 
 import pytest
 
@@ -29,7 +28,7 @@ from repro.analysis.fitting import fit_power_law, ratio_series
 from repro.analysis.tables import format_table
 from repro.core.elkin_mst import compute_mst
 from repro.exceptions import ConfigurationError, ReproError, VerificationError
-from repro.graphs import GraphSpec, path_graph, random_connected_graph
+from repro.graphs import GraphSpec, random_connected_graph
 from repro.verify.complexity_checks import assert_elkin_bounds, elkin_message_bound, elkin_time_bound
 from repro.verify.forest_checks import assert_alpha_beta_forest, assert_forest_coarsens
 from repro.verify.mst_checks import (
@@ -212,7 +211,11 @@ class TestTables:
 
 class TestExperimentRunners:
     def test_available_algorithms(self):
-        assert set(available_algorithms()) == {"elkin", "ghs", "gkp", "prs"}
+        assert set(available_algorithms(distributed_only=True)) == {
+            "elkin", "ghs", "gkp", "prs",
+        }
+        # The sequential references are registered too (via the adapter).
+        assert {"kruskal", "prim", "boruvka_seq"} <= set(available_algorithms())
 
     def test_run_single_unknown_algorithm(self, small_random_graph):
         with pytest.raises(ConfigurationError):
