@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-elkin-mst",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Reproduction of Elkin's deterministic distributed MST algorithm "
         "(PODC 2017) on a synchronous CONGEST(b log n) simulator"
@@ -28,6 +28,7 @@ setup(
             "pytest>=7",
             "hypothesis>=6",
             "pytest-benchmark>=4",
+            "pytest-cov>=4",
         ],
     },
     entry_points={

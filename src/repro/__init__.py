@@ -34,7 +34,7 @@ table from the legacy entrypoints to scenarios) and EXPERIMENTS.md for
 the paper-versus-measured record.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .algorithms import (
     AlgorithmInfo,
@@ -57,8 +57,10 @@ from .core.controlled_ghs import build_base_forest
 from .core.results import MSTRunResult
 from .graphs.generators import (
     GraphSpec,
+    available_families,
     make_graph,
     random_connected_graph,
+    register_family,
 )
 from .campaign import (
     Campaign,
@@ -70,9 +72,14 @@ from .campaign import (
     preset_campaign,
 )
 from .simulator.engine import Engine, available_engines, create_engine, register_engine
-from .simulator.fast_network import FastNetwork
+from .simulator.fast_network import BatchedEngine, FastNetwork
 from .simulator.network import SyncNetwork
 from .types import CostReport
+from .verify import MSTOracle
+
+# Imported for its side effect: registering the workload-zoo graph
+# families (and to make `repro.workloads` importable as an attribute).
+from . import workloads  # noqa: E402  (isort: keep after the registrars)
 
 __all__ = [
     "AlgorithmInfo",
@@ -100,12 +107,17 @@ __all__ = [
     "GraphSpec",
     "make_graph",
     "random_connected_graph",
+    "available_families",
+    "register_family",
+    "workloads",
     "Engine",
     "available_engines",
     "create_engine",
     "register_engine",
+    "BatchedEngine",
     "FastNetwork",
     "SyncNetwork",
+    "MSTOracle",
     "CostReport",
     "__version__",
 ]

@@ -31,7 +31,7 @@ from .baselines.boruvka_seq import boruvka_mst
 from .baselines.ghs import ghs_style_mst
 from .baselines.gkp import gkp_mst
 from .baselines.kruskal import kruskal_mst
-from .baselines.prim import prim_mst
+from .baselines.prim import prim_dense_mst, prim_mst
 from .baselines.prs import prs_style_mst
 from .baselines.sequential import sequential_runner
 from .config import RunConfig
@@ -201,6 +201,18 @@ register_algorithm(
         runner=sequential_runner("prim", prim_mst),
         family="sequential-baseline",
         description="Sequential Prim (binary heap); second independent reference",
+        is_distributed=False,
+        supports_bandwidth=False,
+        round_bound="0 (local computation)",
+        message_bound="0 (local computation)",
+    )
+)
+register_algorithm(
+    AlgorithmInfo(
+        name="prim_dense",
+        runner=sequential_runner("prim_dense", prim_dense_mst),
+        family="sequential-baseline",
+        description="Array-based O(n^2) Jarnik-Prim; dense-graph reference for the zoo",
         is_distributed=False,
         supports_bandwidth=False,
         round_bound="0 (local computation)",

@@ -83,15 +83,21 @@ class Runner:
         return self.run_many([scenario])[0]
 
     def run_many(
-        self, scenarios: Iterable[Scenario], jobs: int = 1
+        self, scenarios: Iterable[Scenario], jobs: int = 1, batch: Optional[bool] = None
     ) -> List[ScenarioOutcome]:
-        """Execute a batch of scenarios, optionally on a process pool.
+        """Execute a batch of scenarios, on a pool or the batched path.
 
         Scenarios may disagree on their ``verify`` policy; the batch is
         partitioned into at most two campaigns (verified / unverified)
         and the outcomes are returned in input order either way.  With
-        ``jobs > 1`` rows are identical to the serial ones -- the pool
-        only changes wall-clock time.
+        ``jobs > 1`` rows are identical to the in-process ones -- the
+        pool only changes wall-clock time.  ``batch`` selects batched
+        in-process execution (graphs, oracles and engine state shared
+        across cells through one
+        :class:`~repro.simulator.fast_network.BatchedEngine` arena; rows
+        byte-identical to the per-cell path): ``None`` batches
+        automatically whenever ``jobs == 1``, ``False`` forces per-cell
+        execution, and ``True`` with ``jobs > 1`` is rejected.
         """
         scenarios = list(scenarios)
         for position, scenario in enumerate(scenarios):
@@ -110,7 +116,10 @@ class Runner:
             if not positions:
                 continue
             report = self._execute(
-                [scenarios[index] for index in positions], verify=verify, jobs=jobs
+                [scenarios[index] for index in positions],
+                verify=verify,
+                jobs=jobs,
+                batch=batch,
             )
             for index, outcome in zip(positions, self._outcomes_of(report)):
                 outcomes[index] = outcome
@@ -131,7 +140,11 @@ class Runner:
     # -- internals -------------------------------------------------------
 
     def _execute(
-        self, scenarios: List[Scenario], verify: bool, jobs: int
+        self,
+        scenarios: List[Scenario],
+        verify: bool,
+        jobs: int,
+        batch: Optional[bool] = None,
     ) -> CampaignReport:
         campaign = Campaign(
             name="api-runner",
@@ -145,6 +158,7 @@ class Runner:
             resume=self.resume,
             compute_diameter=self.compute_diameter,
             observers=self.hooks,
+            batch=batch,
         )
 
     def _outcomes_of(self, report: CampaignReport) -> List[ScenarioOutcome]:

@@ -25,7 +25,7 @@ from .boruvka_seq import boruvka_mst
 from .ghs import ghs_style_mst
 from .gkp import gkp_mst
 from .kruskal import kruskal_mst
-from .prim import prim_mst
+from .prim import prim_dense_mst, prim_mst
 from .prs import prs_style_mst
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "ghs_style_mst",
     "gkp_mst",
     "kruskal_mst",
+    "prim_dense_mst",
     "prim_mst",
     "prs_style_mst",
 ]

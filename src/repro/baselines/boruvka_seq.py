@@ -18,24 +18,40 @@ from .kruskal import UnionFind
 
 
 def boruvka_mst(graph: nx.Graph) -> Set[Edge]:
-    """The MST of ``graph`` via sequential Boruvka phases."""
+    """The MST of ``graph`` via sequential Boruvka phases.
+
+    The edge list is extracted into flat ``(weight, u, v)`` tuples once
+    and compacted as phases merge components (an edge that has become
+    internal can never cross a cut again), so later phases scan only the
+    surviving candidates instead of re-reading every networkx edge
+    attribute -- the classical edge-pruning formulation.
+    """
     n = graph.number_of_nodes()
     if n == 0:
         raise GraphError("cannot compute the MST of an empty graph")
     union_find = UnionFind(graph.nodes())
+    find = union_find.find
+    edges = [
+        (data["weight"], *normalize_edge(u, v))
+        for u, v, data in graph.edges(data=True)
+    ]
     chosen: Set[Edge] = set()
     components = n
     while components > 1:
         best: Dict[VertexId, Tuple[float, VertexId, VertexId]] = {}
-        for u, v, data in graph.edges(data=True):
-            root_u, root_v = union_find.find(u), union_find.find(v)
+        crossing = []
+        for key in edges:
+            root_u, root_v = find(key[1]), find(key[2])
             if root_u == root_v:
                 continue
-            key = (data["weight"], *normalize_edge(u, v))
-            for root in (root_u, root_v):
-                current: Optional[Tuple[float, VertexId, VertexId]] = best.get(root)
-                if current is None or key < current:
-                    best[root] = key
+            crossing.append(key)
+            current: Optional[Tuple[float, VertexId, VertexId]] = best.get(root_u)
+            if current is None or key < current:
+                best[root_u] = key
+            current = best.get(root_v)
+            if current is None or key < current:
+                best[root_v] = key
+        edges = crossing
         if not best:
             raise DisconnectedGraphError(
                 f"graph is disconnected: {components} components remain with no crossing edges"
@@ -43,7 +59,7 @@ def boruvka_mst(graph: nx.Graph) -> Set[Edge]:
         merged_any = False
         for weight, u, v in best.values():
             if union_find.union(u, v):
-                chosen.add(normalize_edge(u, v))
+                chosen.add((u, v))
                 components -= 1
                 merged_any = True
         if not merged_any:

@@ -4,6 +4,13 @@ Having two independent sequential implementations (Prim with a heap here,
 Kruskal with union-find in :mod:`repro.baselines.kruskal`) plus networkx
 gives the verification layer three mutually checking oracles; the
 distributed algorithms must agree with all of them.
+
+:func:`prim_dense_mst` is the array-based O(n^2) Jarnik-Prim variant --
+the textbook choice for dense graphs (it beats the heap when
+``m = Theta(n^2)``, which is exactly the workload-zoo stress regime) and
+a fourth independent implementation for the differential harness: it
+shares no data structure with the heap Prim, Kruskal or Boruvka, so a
+tie-breaking or comparison bug in any one of them cannot hide.
 """
 
 from __future__ import annotations
@@ -54,4 +61,50 @@ def prim_mst(graph: nx.Graph) -> Set[Edge]:
         raise DisconnectedGraphError(
             f"graph is disconnected: Prim reached {len(visited)} of {graph.number_of_nodes()} vertices"
         )
+    return chosen
+
+
+def prim_dense_mst(graph: nx.Graph) -> Set[Edge]:
+    """The MST as a set of canonical edges (array-based O(n^2) Jarnik-Prim).
+
+    Instead of a heap, every non-tree vertex keeps its single best
+    connection to the tree in a flat array and each step scans for the
+    minimum -- ``O(n)`` per step, ``O(n^2)`` total, independent of ``m``.
+    Ties are broken by the ``(weight, u, v)`` total order, matching the
+    rest of the library, so the result is identical to every other
+    reference on distinct-weight graphs.  Raises
+    :class:`DisconnectedGraphError` when the graph is not connected.
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphError("cannot compute the MST of an empty graph")
+    vertices = sorted(graph.nodes())
+    start = vertices[0]
+    in_tree = {start}
+    # best[v] = (weight, u_canon, v_canon): the lightest known edge
+    # connecting v to the tree, keyed for lexicographic tie-breaks.
+    best = {}
+    for neighbor in graph.neighbors(start):
+        weight = graph[start][neighbor]["weight"]
+        best[neighbor] = (weight, *normalize_edge(start, neighbor))
+    chosen: Set[Edge] = set()
+    while len(in_tree) < len(vertices):
+        if not best:
+            raise DisconnectedGraphError(
+                f"graph is disconnected: dense Prim reached {len(in_tree)} "
+                f"of {len(vertices)} vertices"
+            )
+        new_vertex, (_, u, v) = min(best.items(), key=lambda item: item[1])
+        del best[new_vertex]
+        in_tree.add(new_vertex)
+        chosen.add((u, v))
+        for neighbor in graph.neighbors(new_vertex):
+            if neighbor in in_tree:
+                continue
+            candidate = (
+                graph[new_vertex][neighbor]["weight"],
+                *normalize_edge(new_vertex, neighbor),
+            )
+            current = best.get(neighbor)
+            if current is None or candidate < current:
+                best[neighbor] = candidate
     return chosen

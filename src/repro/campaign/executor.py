@@ -1,26 +1,40 @@
-"""Execution layer: serial and multiprocessing campaign executors.
+"""Execution layer: serial, multiprocessing and batched campaign executors.
 
-Both executors drive every cell through the same single-cell runner
-(:func:`run_spec`), so a parallel sweep produces *row-for-row identical*
-output to a serial one -- the pool only changes wall-clock time.  Graphs
-are constructed inside the worker that runs the cell (specs are data, so
-nothing heavyweight crosses process boundaries), results are committed
-to the run store in deterministic campaign order, and instance
-descriptions (n, m, hop-diameter) are computed once per distinct graph
-and cached in the store.
+Every execution mode drives each cell through the same single-cell
+contract (:func:`repro.analysis.experiments.run_single`), so all of them
+produce *row-for-row identical* output -- the mode only changes
+wall-clock time:
+
+* serial (``jobs=1, batch=False``): one cell at a time, in-process;
+* parallel (``jobs>1``): a process pool; graphs are constructed inside
+  the worker that runs the cell (specs are data, so nothing heavyweight
+  crosses process boundaries);
+* batched (``jobs=1``, the default): the in-process
+  :class:`_BatchRunner` packs every distinct deterministic graph of the
+  sweep into one :class:`~repro.simulator.fast_network.BatchedEngine`
+  arena, builds each graph and each verification oracle once instead of
+  once per cell, and steps through the cells re-using arena lanes.
+
+Results are committed to the run store in deterministic campaign order,
+and instance descriptions (n, m, hop-diameter) are computed once per
+distinct graph and cached in the store.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
 
 from ..analysis.bounds import elkin_message_bound_formula, elkin_time_bound_formula
 from ..analysis.experiments import run_single
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError
 from ..graphs.properties import hop_diameter
+from ..simulator.engine import engine_provider, registered_factory
+from ..simulator.fast_network import BatchedEngine, FastNetwork
 from .spec import Campaign, RunSpec
 from .store import GraphDescription, RunStore
 
@@ -107,6 +121,159 @@ def run_spec(
         strict_bounds=spec.strict_bounds,
     )
     return _build_row(spec, description, result), result
+
+
+class _BatchRunner:
+    """In-process batched cell runner (the ``batch=True`` execution path).
+
+    Serial per-cell execution rebuilds the graph, the engine and the
+    verification references for every cell.  The batch runner hoists all
+    of that to per-distinct-graph cost:
+
+    * every distinct *deterministic* graph of the pending cells is built
+      exactly once and packed into one
+      :class:`~repro.simulator.fast_network.BatchedEngine` arena;
+    * cells running on the stock ``"fast"`` kernel receive an arena lane
+      through the :func:`~repro.simulator.engine.engine_provider` seam
+      (byte-identical semantics; the lane *is* a ``FastNetwork``);
+    * verification runs against one cached
+      :class:`~repro.verify.mst_checks.MSTOracle` per graph instead of
+      recomputing three reference MSTs per cell;
+    * instance descriptions are computed once per graph.
+
+    Non-deterministic cells (no pinned seed) keep the serial contract:
+    a fresh graph per cell, described and verified individually, so
+    their rows remain self-consistent samples.  Cells on other engines
+    still share graphs, oracles and descriptions -- only the lane
+    hand-out is kernel-specific.
+    """
+
+    def __init__(
+        self,
+        pending: Sequence[Tuple[int, RunSpec, str]],
+        do_verify: bool,
+        compute_diameter: bool,
+    ) -> None:
+        self._do_verify = do_verify
+        self._compute_diameter = compute_diameter
+        self._graphs: Dict[str, nx.Graph] = {}
+        self._oracles: Dict[str, object] = {}
+        self._planted: Dict[str, object] = {}
+        self._descriptions: Dict[str, GraphDescription] = {}
+        # Only graphs some simulated fast-engine cell will run on are
+        # worth packing into the arena: sequential references never
+        # construct an engine, so packing their graphs would be pure
+        # construction overhead.
+        from ..algorithms import algorithm_info
+
+        arena_keys: Set[str] = set()
+        for _, spec, _ in pending:
+            graph_key = spec.graph_key()
+            if spec.is_deterministic() and graph_key not in self._graphs:
+                self._graphs[graph_key] = spec.build_graph()
+            if spec.engine == "fast" and algorithm_info(spec.algorithm).is_distributed:
+                arena_keys.add(graph_key)
+        self._arena = BatchedEngine(
+            (
+                graph
+                for graph_key, graph in self._graphs.items()
+                if graph_key in arena_keys
+            ),
+            validate=False,
+        )
+        # Lanes replace create_engine("fast") calls; if a test or plugin
+        # re-registered the name with a different kernel, stand down and
+        # let every cell construct its engine normally.
+        self._lanes_enabled = registered_factory("fast") is FastNetwork
+
+    def _provider(self, graph: nx.Graph):
+        """An engine provider vending ``graph``'s arena lane exactly once.
+
+        One cell runs one simulation on one engine; if an algorithm ever
+        asked for a second engine mid-run, handing the (reset) lane out
+        again would wipe the first engine's state, so subsequent
+        requests fall through to normal construction instead.
+        """
+        vended: Set[int] = set()
+
+        def provider(candidate: nx.Graph, bandwidth: int, engine_name: str):
+            if (
+                engine_name != "fast"
+                or candidate is not graph
+                or id(candidate) in vended
+                or not self._arena.has_graph(candidate)
+            ):
+                return None
+            vended.add(id(candidate))
+            return self._arena.lane(candidate, bandwidth)
+
+        return provider
+
+    def run(
+        self,
+        index: int,
+        spec: RunSpec,
+        description: Optional[GraphDescription],
+    ) -> Tuple[int, Row, Dict[str, object], GraphDescription]:
+        """Run one cell; same outcome contract as :func:`_run_worker`."""
+        deterministic = spec.is_deterministic()
+        graph_key = spec.graph_key()
+        graph = self._graphs.get(graph_key) if deterministic else None
+        if graph is None:
+            graph = spec.build_graph()
+        if description is None and deterministic:
+            description = self._descriptions.get(graph_key)
+        if description is None:
+            description = _describe_graph(graph, self._compute_diameter)
+            if deterministic:
+                self._descriptions[graph_key] = description
+        if self._lanes_enabled and spec.engine == "fast" and deterministic:
+            with engine_provider(self._provider(graph)):
+                result = self._simulate(graph, spec)
+        else:
+            result = self._simulate(graph, spec)
+        if self._do_verify:
+            oracle = self._oracles.get(graph_key) if deterministic else None
+            if oracle is None:
+                from ..verify.mst_checks import MSTOracle
+
+                oracle = MSTOracle(graph)
+                if deterministic:
+                    self._oracles[graph_key] = oracle
+            oracle.verify(result)
+            from ..verify.planted_checks import (
+                assert_matches_planted_mst,
+                planted_mst_edges,
+            )
+
+            # Planted ground truth, extracted (and validated) once per
+            # distinct graph like the oracle above.
+            if deterministic and graph_key in self._planted:
+                planted = self._planted[graph_key]
+            else:
+                planted = planted_mst_edges(graph)
+                if deterministic:
+                    self._planted[graph_key] = planted
+            if planted is not None:
+                assert_matches_planted_mst(graph, result, expected=planted)
+        row = _build_row(spec, description, result)
+        used = {key: row[key] for key in ("n", "m", "D") if key in row}
+        return index, row, result.to_json_dict(), used
+
+    def _simulate(self, graph: nx.Graph, spec: RunSpec) -> MSTRunResult:
+        # verify=False: verification runs against the cached per-graph
+        # oracle above, with exactly the checks run_single would apply.
+        return run_single(
+            graph,
+            algorithm=spec.algorithm,
+            bandwidth=spec.bandwidth,
+            verify=False,
+            base_forest_k=spec.base_forest_k,
+            engine=spec.engine,
+            seed=spec.seed,
+            collect_telemetry=spec.collect_telemetry,
+            strict_bounds=spec.strict_bounds,
+        )
 
 
 # -- picklable worker entry points (top level for multiprocessing) -------
@@ -221,6 +388,7 @@ def execute_campaign(
     verify: Optional[bool] = None,
     compute_diameter: bool = True,
     observers: Sequence[object] = (),
+    batch: Optional[bool] = None,
 ) -> CampaignReport:
     """Execute every cell of ``campaign`` and return the ordered rows.
 
@@ -228,8 +396,8 @@ def execute_campaign(
         campaign: the grid to run.
         store: run store for persistence and resume; ``None`` uses a
             fresh in-memory store (everything is recomputed).
-        jobs: worker processes; ``1`` runs serially in-process.  The
-            parallel path produces rows identical to the serial one.
+        jobs: worker processes; ``1`` runs in-process.  The parallel
+            path produces rows identical to the in-process one.
         resume: when True (the default), cells whose run key is already
             in the store are *not* re-simulated; their stored rows are
             returned in place.  When False every cell is re-run and the
@@ -239,14 +407,28 @@ def execute_campaign(
         compute_diameter: include the hop-diameter ``D`` in instance
             descriptions (the one expensive description field).
         observers: lifecycle hooks (see
-            :class:`repro.api.hooks.RunObserver`).  Serial execution
+            :class:`repro.api.hooks.RunObserver`).  In-process execution
             interleaves events with the cells; parallel execution fires
             every ``on_run_start`` at dispatch time and the
             ``on_phase`` / ``on_result`` events in campaign order once
             the pool drains.  Resumed cells fire no events.
+        batch: batched in-process execution (see :class:`_BatchRunner`):
+            distinct graphs are built, described, packed into one
+            :class:`~repro.simulator.fast_network.BatchedEngine` arena
+            and verified against one cached oracle each -- several times
+            faster on many-small-cell sweeps, with rows byte-identical
+            to the per-cell path.  ``None`` (the default) chooses
+            batching automatically whenever execution is in-process
+            (``jobs=1``); ``False`` forces the per-cell path.  Batching
+            is in-process by construction, so ``batch=True`` with
+            ``jobs > 1`` is rejected.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if batch and jobs > 1:
+        raise ConfigurationError(
+            f"batched execution is in-process; drop batch=True or use jobs=1, got jobs={jobs}"
+        )
     store = store if store is not None else RunStore(None)
     do_verify = campaign.verify if verify is None else verify
 
@@ -278,6 +460,11 @@ def execute_campaign(
     def _usable(cached: Optional[GraphDescription]) -> bool:
         return cached is not None and (not compute_diameter or "D" in cached)
 
+    # Pending cells run in-process (one at a time) unless a pool is both
+    # requested and worthwhile; in-process execution batches by default.
+    in_process = jobs <= 1 or len(pending) <= 1
+    use_batch = in_process and batch is not False and bool(pending)
+
     described = 0
     descriptions: Dict[str, GraphDescription] = {}
     if pending:
@@ -291,8 +478,10 @@ def execute_campaign(
             cached = store.graph_description(graph_key)
             if _usable(cached):
                 descriptions[graph_key] = cached
-            elif len(members) > 1:
-                # Worth a dedicated pass: one description serves many cells.
+            elif len(members) > 1 and not use_batch:
+                # Worth a dedicated pass: one description serves many
+                # cells.  The batch runner instead describes the graph
+                # it already built, so it never takes this pass.
                 describe_payloads.append(
                     (graph_key, members[0].to_json_dict(), compute_diameter)
                 )
@@ -304,11 +493,16 @@ def execute_campaign(
             described += 1
 
     # Simulate the pending cells (graphs are built inside each worker).
-    executor_name = "serial" if jobs <= 1 else f"pool-{jobs}"
+    if use_batch:
+        executor_name = "batched"
+    else:
+        executor_name = "serial" if jobs <= 1 else f"pool-{jobs}"
+    # The batch runner consumes specs directly; only the worker path
+    # needs the JSON form (it must cross a process boundary).
     payloads = [
         (
             index,
-            spec.to_json_dict(),
+            None if use_batch else spec.to_json_dict(),
             descriptions.get(spec.graph_key()),
             do_verify,
             compute_diameter,
@@ -316,8 +510,8 @@ def execute_campaign(
         for index, spec, _ in pending
     ]
     fresh: Dict[int, Row] = {}
-    serial = jobs <= 1 or len(payloads) <= 1
-    if serial:
+    runner = _BatchRunner(pending, do_verify, compute_diameter) if use_batch else None
+    if in_process:
         # Run inline below so observers see each cell's events as it runs.
         outcomes: List[object] = [None] * len(payloads)
     else:
@@ -325,9 +519,13 @@ def execute_campaign(
             _notify(observers, "on_run_start", spec)
         outcomes = _map_payloads(_run_worker, payloads, jobs)
     for (index, spec, _), payload, outcome in zip(pending, payloads, outcomes):
-        if serial:
+        if in_process:
             _notify(observers, "on_run_start", spec)
-            outcome = _run_worker(payload)
+            outcome = (
+                runner.run(index, spec, payload[2])
+                if runner is not None
+                else _run_worker(payload)
+            )
         out_index, row, result_json, used = outcome
         assert index == out_index
         graph_key = spec.graph_key()

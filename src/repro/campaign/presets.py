@@ -14,16 +14,21 @@ mirrors one of the experiment scenarios of the reproduction record
   baselines on their separating families.
 
 ``smoke`` is a deliberately tiny 16-cell grid used by CI and the
-acceptance tests for the parallel executor.
+acceptance tests for the parallel executor.  ``zoo`` is the workload-zoo
+sweep: every registered graph family (core set plus the
+:mod:`repro.workloads` additions) under the paper's algorithm and a
+sequential differential reference, plus a denser differential-stress
+grid -- the preset the batched executor is sized against.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, List
 
 from ..exceptions import ConfigurationError
 from ..graphs.generators import GraphSpec
-from .spec import Campaign, graph_spec_for
+from .spec import Campaign, RunSpec, graph_spec_for
 
 
 def _e1_base_forest() -> Campaign:
@@ -106,6 +111,46 @@ def _smoke() -> Campaign:
     )
 
 
+#: The sequential references every zoo instance is differentially
+#: tested against (four independent implementations; see
+#: ``tests/test_property_based.py`` for the seeded-instance suite).
+ZOO_REFERENCES = ("kruskal", "prim", "prim_dense", "boruvka_seq")
+
+
+def _zoo() -> Campaign:
+    """The workload-zoo sweep (coverage + differential stress).
+
+    Two concatenated sub-grids, all on the fast kernel with pinned
+    seeds (every cell deterministic, so the batched executor can share
+    graphs, oracles and arena lanes):
+
+    * *coverage*: the canonical small instance of **every** registered
+      family, run by the paper's algorithm (seed 0) and by all four
+      sequential references (seeds 0 and 1) -- a differential panel on
+      every family;
+    * *stress*: denser instances where verification and graph
+      construction dominate, run by the four sequential references --
+      the differential-testing workload that batched execution
+      amortizes hardest.
+    """
+    from .. import workloads
+
+    specs: List[RunSpec] = []
+    for graph in workloads.zoo_coverage_specs():
+        specs.append(RunSpec(graph=graph, algorithm="elkin", engine="fast", seed=0))
+        for algorithm, seed in itertools.product(ZOO_REFERENCES, (0, 1)):
+            specs.append(
+                RunSpec(graph=graph, algorithm=algorithm, engine="fast", seed=seed)
+            )
+    for graph, algorithm, seed in itertools.product(
+        workloads.zoo_stress_specs(), ZOO_REFERENCES, (0, 1)
+    ):
+        specs.append(
+            RunSpec(graph=graph, algorithm=algorithm, engine="fast", seed=seed)
+        )
+    return Campaign(name="zoo", specs=specs)
+
+
 PRESETS: Dict[str, Callable[[], Campaign]] = {
     "e1-base-forest": _e1_base_forest,
     "e2-k-sweep": _e2_k_sweep,
@@ -117,6 +162,7 @@ PRESETS: Dict[str, Callable[[], Campaign]] = {
     "e8-vs-ghs": _e8_vs_ghs,
     "e9-vs-prs": _e9_vs_prs,
     "smoke": _smoke,
+    "zoo": _zoo,
 }
 
 

@@ -26,7 +26,12 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import networkx as nx
 
 from ..exceptions import ConfigurationError
-from ..graphs.generators import FAMILIES, GraphSpec
+from ..graphs.generators import (
+    FAMILIES,
+    SHAPE_RULES,
+    GraphSpec,
+    ensure_zoo_families,
+)
 from ..simulator.engine import DEFAULT_ENGINE
 
 
@@ -48,22 +53,14 @@ def graph_spec_for(family: str, n: int, seed: Optional[int] = None) -> GraphSpec
     ``n`` so the CLI and the presets can sweep every family on one
     ``--sizes`` axis.
     """
+    ensure_zoo_families()
     if family not in FAMILIES:
         known = ", ".join(sorted(FAMILIES))
         raise ConfigurationError(f"unknown graph family '{family}'; known families: {known}")
     if family == "edge_list":
         raise ConfigurationError("edge_list specs carry explicit edges; build them directly")
-    params: Dict[str, object] = {}
-    if family in ("grid", "torus"):
-        side = max(3 if family == "torus" else 2, round(n ** 0.5))
-        params["rows"] = side
-        params["cols"] = side
-    elif family in ("lollipop", "barbell"):
-        clique = max(3, n // 4)
-        params["clique_size"] = clique
-        params["path_length"] = max(1, n - clique * (2 if family == "barbell" else 1))
-    else:
-        params["n"] = n
+    shape = SHAPE_RULES.get(family)
+    params: Dict[str, object] = shape(n) if shape is not None else {"n": n}
     if seed is not None:
         params["seed"] = seed
     return GraphSpec(family, params)

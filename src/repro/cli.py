@@ -6,6 +6,7 @@ Examples::
     repro-mst compare --family grid --rows 10 --cols 10
     repro-mst sweep-bandwidth --family random_connected --n 256 --bandwidths 1 2 4 8
     repro-mst sweep --preset e6-bandwidth --jobs 4 --output runs.jsonl --resume
+    repro-mst sweep --preset zoo --output zoo.jsonl
     repro-mst sweep --families random_connected grid --sizes 64 128 \
         --algorithms elkin ghs --seeds 0 1 --jobs 4 --output runs.jsonl
 
@@ -13,8 +14,9 @@ The single-graph subcommands build one graph from a generator family,
 run one or more of the simulated algorithms, verify the result against
 the sequential oracles and print an ASCII table with the measured rounds
 and messages.  ``sweep`` executes a whole campaign grid (a named preset
-or a cross-product of the supplied axes), optionally on a worker pool,
-against a persistent JSONL run store with resume semantics.
+or a cross-product of the supplied axes) against a persistent JSONL run
+store with resume semantics -- batched in-process by default (see
+DESIGN.md, Section 10), on a worker pool with ``--jobs N``.
 
 Every subcommand is a thin shim over the scenario facade
 (:mod:`repro.api`): the CLI assembles :class:`~repro.api.Scenario`
@@ -47,13 +49,14 @@ from .campaign import (
     preset_campaign,
 )
 from .config import RunConfig
-from .graphs.generators import FAMILIES, make_graph
+from .graphs.generators import available_families, make_graph
 from .graphs.properties import graph_summary
 from .logging_utils import enable_console_logging
 from .simulator.engine import DEFAULT_ENGINE, available_engines
 
-#: Families a CLI user can ask for (edge_list specs carry explicit edges).
-CLI_FAMILIES = sorted(family for family in FAMILIES if family != "edge_list")
+#: Families a CLI user can ask for (edge_list specs carry explicit
+#: edges); includes the workload-zoo families from :mod:`repro.workloads`.
+CLI_FAMILIES = available_families()
 
 
 def _engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -82,13 +85,19 @@ def _graph_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_graph(args: argparse.Namespace):
+    from .graphs.generators import SHAPE_RULES
+
     params = {"seed": args.seed}
-    if args.family in ("grid", "torus"):
+    if args.family in ("grid", "torus") and (args.rows or args.cols):
         params["rows"] = args.rows or 10
         params["cols"] = args.cols or 10
-    elif args.family in ("lollipop", "barbell"):
+    elif args.family in ("lollipop", "barbell") and (args.clique_size or args.path_length):
         params["clique_size"] = args.clique_size or 10
         params["path_length"] = args.path_length or 30
+    elif args.family in SHAPE_RULES:
+        # Families not parameterized by a plain vertex count (grids,
+        # hypercubes, ...) derive their canonical shape from --n.
+        params.update(SHAPE_RULES[args.family](args.n))
     else:
         params["n"] = args.n
     return make_graph(args.family, **params)
@@ -183,7 +192,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip MST verification against the sequential oracle",
     )
-    _engine_argument(campaign_parser)
+    batch_group = campaign_parser.add_mutually_exclusive_group()
+    batch_group.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=None,
+        help="force batched in-process execution (graphs, oracles and "
+        "engine state shared across cells; rows byte-identical to the "
+        "per-cell path); the default batches automatically when --jobs=1",
+    )
+    batch_group.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="force per-cell execution (disable batching)",
+    )
+    # No default retarget: presets keep the engines they were designed
+    # with (the zoo runs on the fast kernel) unless --engine is given.
+    campaign_parser.add_argument(
+        "--engine",
+        default="",
+        choices=available_engines(),
+        help="retarget every cell at this simulation kernel; the default "
+        "keeps each preset's own engine (ad-hoc grids default to "
+        f"{DEFAULT_ENGINE!r})",
+    )
     return parser
 
 
@@ -202,7 +236,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             graphs=graphs,
             algorithms=tuple(args.algorithms),
             bandwidths=tuple(args.bandwidths),
-            engines=(args.engine,),
+            engines=(args.engine or DEFAULT_ENGINE,),
             seeds=tuple(args.seeds),
         )
     store = RunStore(args.output) if args.output else None
@@ -212,6 +246,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resume=args.resume,
         verify=not args.no_verify,
+        batch=args.batch,
     )
     # Column union across all rows: mixed-algorithm grids would otherwise
     # lose the elkin bound columns whenever the first row is a baseline.

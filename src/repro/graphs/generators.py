@@ -370,6 +370,73 @@ FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
     "edge_list": edge_list_graph,
 }
 
+#: Canonical shape derivation for families whose generators are not
+#: parameterized by a plain vertex count ``n``.  ``graph_spec_for``
+#: consults this registry so every family -- including workload-zoo
+#: additions -- can be swept on one ``--sizes`` axis.
+SHAPE_RULES: Dict[str, Callable[[int], Dict[str, object]]] = {
+    "grid": lambda n: {"rows": max(2, round(n**0.5)), "cols": max(2, round(n**0.5))},
+    "torus": lambda n: {"rows": max(3, round(n**0.5)), "cols": max(3, round(n**0.5))},
+    "lollipop": lambda n: {
+        "clique_size": max(3, n // 4),
+        "path_length": max(1, n - max(3, n // 4)),
+    },
+    "barbell": lambda n: {
+        "clique_size": max(3, n // 4),
+        "path_length": max(1, n - 2 * max(3, n // 4)),
+    },
+}
+
+_ZOO_LOADED = False
+
+
+def ensure_zoo_families() -> None:
+    """Import :mod:`repro.workloads` so its families self-register.
+
+    Idempotent and cycle-safe: the flag is flipped before the import so a
+    re-entrant call (workloads itself imports this module) is a no-op.
+    """
+    global _ZOO_LOADED
+    if not _ZOO_LOADED:
+        _ZOO_LOADED = True
+        from .. import workloads as _workloads  # noqa: F401
+
+
+def register_family(
+    name: str,
+    generator: Callable[..., nx.Graph],
+    shape_from_n: Optional[Callable[[int], Dict[str, object]]] = None,
+) -> None:
+    """Register ``generator`` as the graph family ``name``.
+
+    This is how :mod:`repro.workloads` (and third-party code) extends the
+    zoo: the family becomes a legal ``GraphSpec.family`` everywhere --
+    campaign grids, scenarios, the CLI.  ``shape_from_n`` optionally maps
+    a target vertex count to generator parameters so the family can be
+    swept on a plain size axis (see :data:`SHAPE_RULES`).  Registering a
+    name twice replaces the previous generator.
+    """
+    if not name or not isinstance(name, str):
+        raise GraphError(f"family name must be a non-empty string, got {name!r}")
+    if not callable(generator):
+        raise GraphError(f"generator of family {name!r} is not callable")
+    FAMILIES[name] = generator
+    if shape_from_n is not None:
+        SHAPE_RULES[name] = shape_from_n
+
+
+def available_families(include_edge_list: bool = False) -> list:
+    """Sorted names accepted as ``GraphSpec.family`` (zoo included).
+
+    ``edge_list`` is excluded by default because it carries explicit
+    edges rather than generator parameters, so it is not a family a user
+    can ask for by name and size.
+    """
+    ensure_zoo_families()
+    return sorted(
+        family for family in FAMILIES if include_edge_list or family != "edge_list"
+    )
+
 
 def make_graph(family: str, **params: object) -> nx.Graph:
     """Build a graph from a family name and keyword parameters.
@@ -377,6 +444,7 @@ def make_graph(family: str, **params: object) -> nx.Graph:
     Raises :class:`GraphError` for unknown family names; the error lists
     the available families to make sweep typos easy to diagnose.
     """
+    ensure_zoo_families()
     if family not in FAMILIES:
         known = ", ".join(sorted(FAMILIES))
         raise GraphError(f"unknown graph family '{family}'; known families: {known}")

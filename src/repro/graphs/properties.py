@@ -58,18 +58,62 @@ def hop_diameter(graph: nx.Graph) -> int:
     A single-vertex graph has diameter 0.  Raises
     :class:`DisconnectedGraphError` for disconnected graphs, where the
     hop-diameter is undefined.
+
+    Implementation note: instance descriptions recompute ``D`` for every
+    distinct graph of a sweep, so this is a measured hot path.  Instead
+    of one BFS per source (``O(n m)`` with a large Python constant), the
+    distance-``<= k`` reachability sets of *all* vertices are advanced
+    simultaneously as arbitrary-precision integer bitmasks:
+    ``reach[u] |= reach[w]`` over each edge per step, so every step
+    costs ``O(m)`` word-parallel OR operations (C-speed, ``n/64`` words
+    each) and the diameter is the number of steps until every set
+    saturates.  Total ``O(D m n / 64)`` -- far ahead of BFS on the
+    low-diameter dense graphs where descriptions are most expensive,
+    and still trivially fast on high-diameter sparse families.  A step
+    that makes no progress before saturation is the disconnectedness
+    certificate.
     """
-    if graph.number_of_nodes() == 0:
+    n = graph.number_of_nodes()
+    if n == 0:
         raise GraphError("hop_diameter of an empty graph is undefined")
-    if graph.number_of_nodes() == 1:
+    if n == 1:
         return 0
-    if not nx.is_connected(graph):
-        raise DisconnectedGraphError("hop_diameter of a disconnected graph is undefined")
-    diameter = 0
-    for _, lengths in nx.all_pairs_shortest_path_length(graph):
-        eccentricity = max(lengths.values())
-        if eccentricity > diameter:
-            diameter = eccentricity
+    index = {vertex: position for position, vertex in enumerate(graph.nodes())}
+    adjacency: list = [[] for _ in range(n)]
+    reach: list = [1 << position for position in range(n)]
+    for u, v in graph.edges():
+        iu, iv = index[u], index[v]
+        adjacency[iu].append(iv)
+        adjacency[iv].append(iu)
+        reach[iu] |= 1 << iv
+        reach[iv] |= 1 << iu
+    full = (1 << n) - 1
+    diameter = 1
+    pending = [position for position in range(n) if reach[position] != full]
+    while pending:
+        # Two-phase (Jacobi) update: every new set is computed from the
+        # previous step's sets before any is committed, so one loop
+        # iteration advances the distance bound by exactly one hop.
+        updates = []
+        for u in pending:
+            bits = reach[u]
+            for w in adjacency[u]:
+                bits |= reach[w]
+            updates.append((u, bits))
+        changed = False
+        still_pending = []
+        for u, bits in updates:
+            if bits != reach[u]:
+                reach[u] = bits
+                changed = True
+            if bits != full:
+                still_pending.append(u)
+        if not changed:
+            raise DisconnectedGraphError(
+                "hop_diameter of a disconnected graph is undefined"
+            )
+        diameter += 1
+        pending = still_pending
     return diameter
 
 

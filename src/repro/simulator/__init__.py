@@ -26,8 +26,15 @@ upcast/downcast, interval labelling, neighbour exchange) that the paper
 composes.
 """
 
-from .engine import DEFAULT_ENGINE, Engine, available_engines, create_engine, register_engine
-from .fast_network import FastMessage, FastNetwork
+from .engine import (
+    DEFAULT_ENGINE,
+    Engine,
+    available_engines,
+    create_engine,
+    engine_provider,
+    register_engine,
+)
+from .fast_network import BatchedEngine, FastMessage, FastNetwork
 from .message import Message
 from .metrics import Metrics
 from .network import SyncNetwork
@@ -39,7 +46,9 @@ __all__ = [
     "Engine",
     "available_engines",
     "create_engine",
+    "engine_provider",
     "register_engine",
+    "BatchedEngine",
     "FastMessage",
     "FastNetwork",
     "Message",

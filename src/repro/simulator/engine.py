@@ -29,7 +29,8 @@ flag feed into.  Third-party kernels can join via
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Dict, Iterable, List, Tuple
+import contextlib
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import networkx as nx
 
@@ -207,6 +208,46 @@ def available_engines() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def registered_factory(name: str) -> Optional[EngineFactory]:
+    """The factory currently registered under ``name`` (``None`` when absent).
+
+    Lets callers that special-case a kernel (the batched executor only
+    hands out arena lanes for the stock ``"fast"`` engine) detect when a
+    test or plugin has re-registered the name with something else.
+    """
+    _ensure_builtin_engines()
+    return _REGISTRY.get(name)
+
+
+#: A provider intercepting :func:`create_engine`: returns a prepared
+#: engine for ``(graph, bandwidth, engine_name)``, or ``None`` to fall
+#: through to the registry.
+EngineProvider = Callable[[nx.Graph, int, str], Optional[Engine]]
+
+_PROVIDERS: List[EngineProvider] = []
+
+
+@contextlib.contextmanager
+def engine_provider(provider: EngineProvider) -> Iterator[None]:
+    """Intercept :func:`create_engine` calls within the ``with`` block.
+
+    This is the seam the batched executor uses to hand algorithms
+    pre-packed :class:`~repro.simulator.fast_network.BatchedEngine`
+    lanes without changing the runner contract: algorithms keep calling
+    ``create_engine(graph, ...)``, and the innermost active provider may
+    answer with a prepared engine for that exact graph.  A provider
+    returning ``None`` falls through (to outer providers, then to the
+    registry), so interception is always safe.  Providers stack; the
+    mechanism is intentionally not thread-safe (the executors are
+    process-parallel, never thread-parallel).
+    """
+    _PROVIDERS.append(provider)
+    try:
+        yield
+    finally:
+        _PROVIDERS.pop()
+
+
 def create_engine(
     graph: nx.Graph,
     bandwidth: int = 1,
@@ -226,6 +267,11 @@ def create_engine(
     Raises:
         ConfigurationError: when ``engine`` is not a registered name.
     """
+    if _PROVIDERS:
+        for provider in reversed(_PROVIDERS):
+            provided = provider(graph, bandwidth, engine)
+            if provided is not None:
+                return provided
     _ensure_builtin_engines()
     try:
         factory = _REGISTRY[engine]

@@ -60,6 +60,11 @@ class SyncNetwork(Engine):
         self.graph = graph
         self.bandwidth = bandwidth
         self.metrics = Metrics()
+        # The graph is immutable for the lifetime of the engine, so the
+        # sizes every bound and rounds-hint computation keeps asking for
+        # are cached once (networkx recounts adjacency on each query).
+        self._n = graph.number_of_nodes()
+        self._m = graph.number_of_edges()
         self._nodes: Dict[VertexId, NodeState] = {}
         for vertex in sorted(graph.nodes()):
             neighbors = tuple(sorted(graph.neighbors(vertex)))
@@ -73,6 +78,16 @@ class SyncNetwork(Engine):
     # ------------------------------------------------------------------ #
     # basic queries
     # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (cached; the graph never changes mid-run)."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges (cached; the graph never changes mid-run)."""
+        return self._m
 
     def vertices(self) -> Iterable[VertexId]:
         """Iterate over vertex identities in sorted order."""

@@ -8,10 +8,16 @@ against the theorem bounds with explicit constants.
 """
 
 from .mst_checks import (
+    MSTOracle,
     assert_same_mst,
     assert_spanning_tree,
     reference_mst,
     verify_mst_result,
+)
+from .planted_checks import (
+    assert_matches_planted_mst,
+    planted_mst_details,
+    planted_mst_edges,
 )
 from .forest_checks import (
     assert_alpha_beta_forest,
@@ -27,8 +33,12 @@ from .complexity_checks import (
 )
 
 __all__ = [
+    "MSTOracle",
+    "assert_matches_planted_mst",
     "assert_same_mst",
     "assert_spanning_tree",
+    "planted_mst_details",
+    "planted_mst_edges",
     "reference_mst",
     "verify_mst_result",
     "assert_alpha_beta_forest",

@@ -1,0 +1,293 @@
+"""Batched execution: byte-identity with the per-cell path, and the arena.
+
+The contract under test: ``execute_campaign(batch=True)`` (and the
+default in-process batching) produces rows, store records and resume
+behaviour *byte-identical* to the per-cell serial executor over the same
+grid -- batching buys wall-clock time only.  Plus unit coverage of
+:class:`repro.simulator.fast_network.BatchedEngine` lanes: identical
+kernel semantics to a standalone ``FastNetwork``, state isolation across
+re-vends, and bandwidth enforcement.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.campaign import Campaign, RunStore, execute_campaign
+from repro.campaign.spec import graph_spec_for
+from repro.config import RunConfig
+from repro.core.elkin_mst import compute_mst
+from repro.exceptions import (
+    BandwidthExceededError,
+    ConfigurationError,
+    SimulationError,
+    VerificationError,
+)
+from repro.graphs.generators import GraphSpec, make_graph
+from repro.simulator.engine import create_engine, engine_provider, register_engine
+from repro.simulator.fast_network import BatchedEngine, FastNetwork
+from repro.verify.mst_checks import MSTOracle
+
+
+def _sixteen_cell_grid() -> Campaign:
+    """2 graphs x 2 algorithms x 2 bandwidths x 2 seeds on the fast kernel."""
+    graphs = [
+        graph_spec_for("random_connected", 20),
+        graph_spec_for("planted_fragments", 16),
+    ]
+    return Campaign.from_grid(
+        "batched-eq",
+        graphs,
+        algorithms=("elkin", "boruvka_seq"),
+        bandwidths=(1, 2),
+        engines=("fast",),
+        seeds=(0, 1),
+    )
+
+
+class TestBatchedEquivalence:
+    def test_rows_and_store_records_byte_identical(self, tmp_path):
+        campaign = _sixteen_cell_grid()
+        assert len(campaign) == 16
+        serial_store = RunStore(tmp_path / "serial.jsonl")
+        batched_store = RunStore(tmp_path / "batched.jsonl")
+        serial = execute_campaign(campaign, store=serial_store, batch=False)
+        batched = execute_campaign(campaign, store=batched_store, batch=True)
+
+        assert serial.rows == batched.rows
+        assert serial_store.run_keys() == batched_store.run_keys()
+        for spec in campaign.specs:
+            key = spec.run_key()
+            assert json.dumps(serial_store.get_row(key), sort_keys=True) == json.dumps(
+                batched_store.get_row(key), sort_keys=True
+            )
+            assert (
+                serial_store.get_result(key).to_json_dict()
+                == batched_store.get_result(key).to_json_dict()
+            )
+            assert serial_store.get_spec(key) == batched_store.get_spec(key)
+
+    def test_resume_across_execution_modes(self, tmp_path):
+        campaign = _sixteen_cell_grid()
+        store_path = tmp_path / "store.jsonl"
+        first = execute_campaign(campaign, store=RunStore(store_path), batch=False)
+        assert first.executed == 16
+        # A batched run resumes every per-cell record...
+        resumed = execute_campaign(campaign, store=RunStore(store_path), batch=True)
+        assert resumed.executed == 0
+        assert resumed.reused == 16
+        assert resumed.rows == first.rows
+        # ... and vice versa: per-cell execution resumes batched records.
+        batched_path = tmp_path / "batched.jsonl"
+        second = execute_campaign(campaign, store=RunStore(batched_path), batch=True)
+        reresumed = execute_campaign(
+            campaign, store=RunStore(batched_path), batch=False
+        )
+        assert reresumed.executed == 0
+        assert reresumed.rows == second.rows
+
+    def test_default_in_process_execution_batches(self, tmp_path):
+        campaign = _sixteen_cell_grid()
+        report = execute_campaign(campaign, store=RunStore(tmp_path / "s.jsonl"))
+        provenance = report.store.get_provenance(campaign.specs[0].run_key())
+        assert provenance["executor"] == "batched"
+        explicit = execute_campaign(campaign, batch=False)
+        assert report.rows == explicit.rows
+
+    def test_batch_with_pool_rejected(self):
+        with pytest.raises(ConfigurationError, match="in-process"):
+            execute_campaign(_sixteen_cell_grid(), jobs=2, batch=True)
+
+    def test_parallel_rows_match_batched_rows(self):
+        campaign = _sixteen_cell_grid()
+        batched = execute_campaign(campaign, batch=True)
+        pooled = execute_campaign(campaign, jobs=2)
+        assert batched.rows == pooled.rows
+
+    def test_nondeterministic_cells_stay_self_consistent(self):
+        # No pinned seed: every cell must draw its own instance, and the
+        # row's instance description must match the simulated graph.
+        campaign = Campaign.from_grid(
+            "nondet",
+            [GraphSpec("random_connected", {"n": 18})],
+            algorithms=("elkin",),
+            seeds=(None,),
+        )
+        report = execute_campaign(campaign, batch=True)
+        row = report.rows[0]
+        result = report.store.get_result(campaign.specs[0].run_key())
+        assert row["n"] == result.n and row["m"] == result.m
+
+    def test_batched_verification_still_catches_wrong_results(self):
+        from repro.algorithms import AlgorithmInfo, register_algorithm, _REGISTRY
+
+        def broken(graph, config=None):
+            result = run_algorithm(graph, "kruskal", config)
+            result.edges = set(list(result.edges)[:-1])  # drop an edge
+            result.algorithm = "broken"
+            return result
+
+        register_algorithm(
+            AlgorithmInfo(
+                name="broken",
+                runner=broken,
+                family="sequential-baseline",
+                is_distributed=False,
+            )
+        )
+        try:
+            campaign = Campaign.from_grid(
+                "broken",
+                [graph_spec_for("random_connected", 16)],
+                algorithms=("broken",),
+                seeds=(0,),
+            )
+            with pytest.raises(VerificationError):
+                execute_campaign(campaign, batch=True)
+        finally:
+            _REGISTRY.pop("broken", None)
+
+    def test_batched_stands_down_when_fast_engine_is_replaced(self):
+        # A re-registered "fast" kernel must be honoured: the batch
+        # runner detects the substitution and constructs engines
+        # normally instead of vending stock-FastNetwork lanes.
+        created = []
+
+        class CountingFast(FastNetwork):
+            __slots__ = ()
+
+            def __init__(self, graph, bandwidth=1, validate=True):
+                created.append(id(graph))
+                super().__init__(graph, bandwidth=bandwidth, validate=validate)
+
+        register_engine("fast", CountingFast)
+        try:
+            campaign = Campaign.from_grid(
+                "swapped",
+                [graph_spec_for("random_connected", 16)],
+                algorithms=("elkin",),
+                engines=("fast",),
+                seeds=(0,),
+            )
+            report = execute_campaign(campaign, batch=True)
+            assert created, "replacement engine was never constructed"
+            assert report.executed == 1
+        finally:
+            register_engine("fast", FastNetwork)
+
+
+class TestBatchedEngineLanes:
+    def test_lane_reports_identical_results_to_standalone(self):
+        graph = make_graph("random_connected", n=20, seed=3)
+        arena = BatchedEngine([graph])
+        baseline = compute_mst(graph, RunConfig(engine="fast"))
+        for _ in range(3):  # re-vends must be state-clean
+            vended = []
+
+            def provider(candidate, bandwidth, name):
+                if name == "fast" and candidate is graph and not vended:
+                    vended.append(True)
+                    return arena.lane(candidate, bandwidth)
+                return None
+
+            with engine_provider(provider):
+                result = compute_mst(graph, RunConfig(engine="fast"))
+            assert result.to_json_dict() == baseline.to_json_dict()
+
+    def test_lanes_share_one_dense_index_space(self):
+        graphs = [
+            make_graph("random_connected", n=12, seed=s) for s in range(4)
+        ]
+        arena = BatchedEngine(graphs)
+        assert arena.graph_count == 4
+        assert arena.total_vertices == sum(g.number_of_nodes() for g in graphs)
+        assert arena.total_slots == sum(2 * g.number_of_edges() for g in graphs)
+        lanes = [arena.lane(g) for g in graphs]
+        # All lanes alias the same flat arena arrays.
+        assert len({id(lane._nbr_weight) for lane in lanes}) == 1
+
+    def test_lane_bandwidth_enforcement(self):
+        graph = make_graph("path", n=4, seed=0)
+        arena = BatchedEngine([graph])
+        lane = arena.lane(graph, bandwidth=1)
+        lane.send(0, 1, "a")
+        with pytest.raises(BandwidthExceededError):
+            lane.send(0, 1, "b")
+        # A fresh vend resets the counters by generation stamping.
+        lane = arena.lane(graph, bandwidth=1)
+        lane.send(0, 1, "a")
+
+    def test_lane_reset_clears_messages_and_scratch(self):
+        graph = make_graph("path", n=4, seed=0)
+        arena = BatchedEngine([graph])
+        lane = arena.lane(graph)
+        lane.send(0, 1, "stale")
+        lane.node(0).scratch("proto")["key"] = "value"
+        lane = arena.lane(graph)
+        assert lane.pending_count() == 0
+        assert lane.node(0).memory == {}
+        assert lane.metrics.rounds == 0
+
+    def test_distinct_bandwidth_lanes_coexist(self):
+        graph = make_graph("random_connected", n=16, seed=1)
+        arena = BatchedEngine([graph])
+        for bandwidth in (1, 2, 1, 4, 2):
+            expected = compute_mst(graph, RunConfig(engine="fast", bandwidth=bandwidth))
+            vended = []
+
+            def provider(candidate, bw, name):
+                if name == "fast" and not vended:
+                    vended.append(True)
+                    return arena.lane(candidate, bw)
+                return None
+
+            with engine_provider(provider):
+                result = compute_mst(
+                    graph, RunConfig(engine="fast", bandwidth=bandwidth)
+                )
+            assert result.to_json_dict() == expected.to_json_dict()
+
+    def test_unpacked_graph_is_rejected(self):
+        arena = BatchedEngine([])
+        with pytest.raises(SimulationError, match="not part of this batch"):
+            arena.lane(make_graph("path", n=3, seed=0))
+
+    def test_add_graph_is_idempotent_by_identity(self):
+        graph = make_graph("path", n=5, seed=0)
+        arena = BatchedEngine([graph])
+        slots = arena.total_slots
+        arena.add_graph(graph)
+        assert arena.total_slots == slots
+
+    def test_provider_fallthrough_reaches_registry(self):
+        graph = make_graph("path", n=4, seed=0)
+        with engine_provider(lambda g, b, name: None):
+            engine = create_engine(graph, engine="fast")
+        assert isinstance(engine, FastNetwork)
+
+
+class TestMSTOracle:
+    def test_oracle_matches_full_verification(self):
+        graph = make_graph("random_connected", n=24, seed=2)
+        oracle = MSTOracle(graph)
+        result = run_algorithm(graph, "kruskal")
+        oracle.verify(result)  # no raise
+
+    def test_oracle_rejects_wrong_edge_set(self):
+        graph = make_graph("random_connected", n=24, seed=2)
+        oracle = MSTOracle(graph)
+        result = run_algorithm(graph, "kruskal")
+        result.edges = set(list(result.edges)[:-1])
+        with pytest.raises(VerificationError, match="MST mismatch"):
+            oracle.verify(result)
+
+    def test_oracle_rejects_wrong_weight(self):
+        graph = make_graph("random_connected", n=24, seed=2)
+        oracle = MSTOracle(graph)
+        result = run_algorithm(graph, "kruskal")
+        result.total_weight += 5.0
+        with pytest.raises(VerificationError, match="does not match"):
+            oracle.verify(result)

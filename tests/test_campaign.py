@@ -146,7 +146,7 @@ class TestCampaignGrid:
 
     def test_graph_spec_for_unknown_family(self):
         with pytest.raises(ConfigurationError):
-            graph_spec_for("hypercube", 8)
+            graph_spec_for("dodecahedron", 8)
 
     def test_graph_spec_for_shapes_non_n_families(self):
         assert graph_spec_for("grid", 16).params == {"rows": 4, "cols": 4}
@@ -285,7 +285,8 @@ class TestRunStore:
             assert result.rounds == row["rounds"]
             assert result.messages == row["messages"]
             provenance = reloaded.get_provenance(key)
-            assert provenance["executor"] == "serial"
+            # jobs=1 executions batch by default and stamp that fact.
+            assert provenance["executor"] == "batched"
             assert provenance["verified"] is True
             assert provenance["package_version"]
 

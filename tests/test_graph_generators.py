@@ -219,7 +219,7 @@ class TestGraphSpec:
 
     def test_make_graph_unknown_family(self):
         with pytest.raises(GraphError, match="unknown graph family"):
-            make_graph("hypercube", n=8)
+            make_graph("dodecahedron", n=8)
 
     def test_spec_build_and_label(self):
         spec = GraphSpec(family="grid", params={"rows": 3, "cols": 4, "seed": 1})

@@ -6,26 +6,37 @@ correctness rests on -- agreement with the sequential MST, validity of
 the Cole-Vishkin colouring and the maximal matching, the laminar-family
 property of the interval labelling, and the (alpha, beta) guarantees of
 Controlled-GHS.
+
+The differential workload-zoo suite (:class:`TestZooDifferential`) runs
+the paper's algorithm against every sequential reference on seeded
+instances of *every registered graph family*, asserting identical edge
+sets, equal MST weight, verified spanning-forest invariants and (for
+planted families) agreement with the planted ground truth.
 """
 
 from __future__ import annotations
 
 import networkx as nx
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro import workloads
+from repro.analysis.experiments import run_single
 from repro.core.cole_vishkin import cole_vishkin_coloring, validate_coloring
 from repro.core.controlled_ghs import build_base_forest
 from repro.core.elkin_mst import compute_mst
 from repro.core.maximal_matching import maximal_matching_from_coloring
 from repro.baselines import kruskal_mst
 from repro.config import RunConfig
+from repro.graphs.generators import available_families
 from repro.graphs.weights import assign_unique_weights
 from repro.simulator.network import SyncNetwork
 from repro.simulator.primitives.bfs import build_bfs_tree
 from repro.simulator.primitives.intervals import assign_intervals
 from repro.simulator.primitives.pipeline import pipelined_upcast
 from repro.verify.forest_checks import assert_alpha_beta_forest
+from repro.verify.planted_checks import assert_matches_planted_mst, planted_mst_edges
 
 SLOW = settings(
     max_examples=12,
@@ -116,6 +127,72 @@ class TestColoringAndMatchingProperties:
         for node, parent_node in parent.items():
             if parent_node is not None:
                 assert node in matched or parent_node in matched
+
+
+#: Every sequential reference the zoo instances are checked against.
+SEQUENTIAL_REFERENCES = ("kruskal", "prim", "prim_dense", "boruvka_seq")
+
+
+class TestZooDifferential:
+    """Differential suite: elkin vs. every sequential reference, per family.
+
+    For each registered workload family, seeded random instances are run
+    by the paper's algorithm (with full oracle verification) and by all
+    four sequential references; the suite asserts identical edge sets,
+    equal MST weight, the spanning-forest invariant and -- on planted
+    families -- agreement with the planted ground truth.
+    """
+
+    @pytest.mark.parametrize("family", available_families())
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_family_differential(self, family, seed):
+        graph = workloads.coverage_spec(family, seed=seed).build()
+        # verify=True runs the full oracle stack (networkx + Kruskal +
+        # Prim + planted checks) on the distributed result.
+        elkin = run_single(graph, "elkin", engine="fast", verify=True, seed=seed)
+        assert elkin.spans(graph)
+        assert elkin.edge_count == graph.number_of_nodes() - 1
+        for reference in SEQUENTIAL_REFERENCES:
+            result = run_single(graph, reference, verify=True, seed=seed)
+            assert result.edges == elkin.edges, (
+                f"{reference} disagrees with elkin on {family} (seed {seed})"
+            )
+            assert result.total_weight == pytest.approx(elkin.total_weight)
+            assert result.spans(graph)
+            assert result.rounds == 0 and result.messages == 0
+
+    @pytest.mark.parametrize("family", workloads.PLANTED_FAMILIES)
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_planted_families_expose_and_match_ground_truth(self, family, seed):
+        graph = workloads.coverage_spec(family, seed=seed).build()
+        planted = planted_mst_edges(graph)
+        assert planted is not None and len(planted) == graph.number_of_nodes() - 1
+        # The planted tree must be the unique MST, independently.
+        assert kruskal_mst(graph) == planted
+        result = run_single(graph, "elkin", engine="fast", verify=True, seed=seed)
+        assert_matches_planted_mst(graph, result)
+        assert result.details["planted_mst"] == [list(edge) for edge in sorted(planted)]
+
+    @pytest.mark.parametrize(
+        "family", ("unit_weight_stress", "duplicate_weight_stress")
+    )
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_weight_stress_families_keep_weights_distinct(self, family, seed):
+        graph = workloads.coverage_spec(family, seed=seed).build()
+        weights = [data["weight"] for _, _, data in graph.edges(data=True)]
+        assert len(set(weights)) == len(weights)
+        assert all(weight > 0 for weight in weights)
 
 
 class TestPrimitiveProperties:
