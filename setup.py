@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-elkin-mst",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of Elkin's deterministic distributed MST algorithm "
         "(PODC 2017) on a synchronous CONGEST(b log n) simulator"

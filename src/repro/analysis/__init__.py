@@ -17,6 +17,15 @@ from .bounds import (
     log_star,
 )
 from .fitting import fit_power_law, ratio_series
+from .report import (
+    BoundViolation,
+    CampaignAnalysis,
+    ScalingFit,
+    analyze_rows,
+    analyze_store,
+    render_markdown,
+    write_report,
+)
 from .tables import format_table
 from .experiments import (
     ExperimentRow,
@@ -38,6 +47,13 @@ __all__ = [
     "fit_power_law",
     "ratio_series",
     "format_table",
+    "BoundViolation",
+    "CampaignAnalysis",
+    "ScalingFit",
+    "analyze_rows",
+    "analyze_store",
+    "render_markdown",
+    "write_report",
     "ExperimentRow",
     "compare_algorithms",
     "run_single",

@@ -24,13 +24,23 @@ def _render_cell(value: object) -> str:
 def format_table(rows: Sequence[Mapping[str, object]], columns: Iterable[str] | None = None) -> str:
     """Render ``rows`` (dictionaries) as an aligned ASCII table.
 
-    Column order defaults to the key order of the first row; missing
-    values render as ``-``.  Returns a string ending without a newline.
+    Columns default to the union of every row's keys in first-seen
+    order, so rows carrying extra columns (e.g. the theorem-bound
+    ratios only the paper's algorithm reports) never lose them to the
+    accident of which row came first; missing values render as ``-``.
+    Returns a string ending without a newline.
     """
     rows = list(rows)
     if not rows:
         return "(no rows)"
-    column_names = list(columns) if columns is not None else list(rows[0].keys())
+    if columns is not None:
+        column_names = list(columns)
+    else:
+        column_names = []
+        for row in rows:
+            for name in row:
+                if name not in column_names:
+                    column_names.append(name)
     rendered = [
         [_render_cell(row.get(name, "-")) for name in column_names] for row in rows
     ]

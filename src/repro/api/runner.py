@@ -126,6 +126,20 @@ class Runner:
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
+    def report(self, output: Optional[str] = None, title: str = "EXPERIMENTS") -> str:
+        """Render the campaign analysis report over this runner's store.
+
+        Aggregates every row the store holds -- across all ``run`` /
+        ``run_many`` calls that shared it -- into per-family tables,
+        power-law scaling fits and the Theorem 3.1/3.2 bound audit (see
+        :mod:`repro.analysis.report`).  When ``output`` is given the
+        markdown document is also written to that path.  Returns the
+        rendered markdown.
+        """
+        from ..analysis.report import write_report
+
+        return write_report(self.store, output=output, title=title)
+
     def stream(self, scenarios: Iterable[Scenario]) -> Iterator[ScenarioOutcome]:
         """Lazily execute scenarios one by one, yielding each outcome.
 

@@ -37,11 +37,17 @@ def prs_style_mst(
     """Compute the MST with the sqrt(n)-base-forest (PRS16-style) strategy."""
     config = normalize_config(config)
     n = graph.number_of_nodes()
-    forced_k = max(1, min(math.ceil(math.sqrt(max(n, 1))), max(1, n // 10)))
+    ceil_sqrt_n = math.ceil(math.sqrt(max(n, 1)))
+    # k = ceil(sqrt(n)) exactly (capped only by n itself, which can
+    # matter for degenerate 1- and 2-vertex graphs): the strategy this
+    # baseline reproduces *is* the sqrt(n) base forest, also below
+    # n = 100, where a smaller k would shrink the small-n end of the
+    # E9 crossover.
+    forced_k = max(1, min(ceil_sqrt_n, n))
     forced_config = dataclasses.replace(config, base_forest_k=forced_k)
     result = compute_mst(graph, forced_config, root=root)
     return dataclasses.replace(
         result,
         algorithm="prs-style",
-        details={**result.details, "forced_k": forced_k},
+        details={**result.details, "forced_k": forced_k, "ceil_sqrt_n": ceil_sqrt_n},
     )

@@ -518,33 +518,40 @@ def execute_campaign(
         for _, spec, _ in pending:
             _notify(observers, "on_run_start", spec)
         outcomes = _map_payloads(_run_worker, payloads, jobs)
-    for (index, spec, _), payload, outcome in zip(pending, payloads, outcomes):
-        if in_process:
-            _notify(observers, "on_run_start", spec)
-            outcome = (
-                runner.run(index, spec, payload[2])
-                if runner is not None
-                else _run_worker(payload)
-            )
-        out_index, row, result_json, used = outcome
-        assert index == out_index
-        graph_key = spec.graph_key()
-        if (
-            spec.is_deterministic()
-            and graph_key not in descriptions
-            and not _usable(store.graph_description(graph_key))
-        ):
-            store.record_graph(graph_key, used)
-            descriptions[graph_key] = used
-            described += 1
-        store.record_run(spec, row, result_json, _provenance(spec, executor_name, do_verify))
-        fresh[index] = row
-        if observers:
-            result = MSTRunResult.from_json_dict(result_json)
-            for phase in result.phases:
-                _notify(observers, "on_phase", spec, phase)
-            _notify(observers, "on_result", spec, result, row)
-
+    try:
+        for (index, spec, _), payload, outcome in zip(pending, payloads, outcomes):
+            if in_process:
+                _notify(observers, "on_run_start", spec)
+                outcome = (
+                    runner.run(index, spec, payload[2])
+                    if runner is not None
+                    else _run_worker(payload)
+                )
+            out_index, row, result_json, used = outcome
+            assert index == out_index
+            graph_key = spec.graph_key()
+            if (
+                spec.is_deterministic()
+                and graph_key not in descriptions
+                and not _usable(store.graph_description(graph_key))
+            ):
+                store.record_graph(graph_key, used)
+                descriptions[graph_key] = used
+                described += 1
+            store.record_run(spec, row, result_json, _provenance(spec, executor_name, do_verify))
+            fresh[index] = row
+            if observers:
+                result = MSTRunResult.from_json_dict(result_json)
+                for phase in result.phases:
+                    _notify(observers, "on_phase", spec, phase)
+                _notify(observers, "on_result", spec, result, row)
+    finally:
+        # Group-commit contract: whatever durability level the store
+        # runs at, a campaign that returned has all of its records on
+        # disk -- and one that *raised* (verification failure, Ctrl-C)
+        # still persists every completed cell, exactly as the v1
+        # per-record store did, so --resume re-runs nothing finished.
+        store.flush()
     rows = [
         fresh[index] if index in fresh else store.get_row(reused_keys[index])
         for index in range(len(campaign.specs))

@@ -159,32 +159,49 @@ class RunSpec:
         return self.label or self.effective_graph_spec().label()
 
     def _identity(self) -> Dict[str, object]:
-        spec = self.effective_graph_spec()
-        identity: Dict[str, object] = {
-            "graph": {"family": spec.family, "params": spec.params},
-            "algorithm": self.algorithm,
-            "bandwidth": self.bandwidth,
-            "engine": self.engine,
-            "seed": self.seed,
-            "base_forest_k": self.base_forest_k,
-        }
-        # Non-default execution switches extend the identity; the default
-        # combination hashes exactly as it did before these fields
-        # existed, keeping old run stores resumable.
-        if not self.collect_telemetry:
-            identity["collect_telemetry"] = False
-        if self.strict_bounds:
-            identity["strict_bounds"] = True
-        return identity
+        # Cached: the store's group-commit path calls run_key() /
+        # to_json_dict() once per record, and the identity (a frozen
+        # spec's pure function) dominated append cost before caching.
+        # Frozen dataclasses still own a __dict__, so the cache rides
+        # there via object.__setattr__; equality ignores it.
+        cached = self.__dict__.get("_identity_cache")
+        if cached is None:
+            spec = self.effective_graph_spec()
+            cached = {
+                "graph": {"family": spec.family, "params": spec.params},
+                "algorithm": self.algorithm,
+                "bandwidth": self.bandwidth,
+                "engine": self.engine,
+                "seed": self.seed,
+                "base_forest_k": self.base_forest_k,
+            }
+            # Non-default execution switches extend the identity; the
+            # default combination hashes exactly as it did before these
+            # fields existed, keeping old run stores resumable.
+            if not self.collect_telemetry:
+                cached["collect_telemetry"] = False
+            if self.strict_bounds:
+                cached["strict_bounds"] = True
+            object.__setattr__(self, "_identity_cache", cached)
+        # Shallow copy: to_json_dict decorates the top level in place.
+        return dict(cached)
 
     def run_key(self) -> str:
-        """Content hash identifying this cell in the run store."""
-        return _content_hash(self._identity())
+        """Content hash identifying this cell in the run store (cached)."""
+        key = self.__dict__.get("_run_key_cache")
+        if key is None:
+            key = _content_hash(self._identity())
+            object.__setattr__(self, "_run_key_cache", key)
+        return key
 
     def graph_key(self) -> str:
-        """Content hash of the (seed-resolved) graph instance description."""
-        spec = self.effective_graph_spec()
-        return _content_hash({"family": spec.family, "params": spec.params})
+        """Content hash of the (seed-resolved) graph instance description (cached)."""
+        key = self.__dict__.get("_graph_key_cache")
+        if key is None:
+            spec = self.effective_graph_spec()
+            key = _content_hash({"family": spec.family, "params": spec.params})
+            object.__setattr__(self, "_graph_key_cache", key)
+        return key
 
     def to_json_dict(self) -> Dict[str, object]:
         payload = self._identity()

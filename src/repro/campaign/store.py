@@ -1,4 +1,4 @@
-"""Persistence layer: an append-only JSONL run store with resume support.
+"""Persistence layer: a group-commit JSONL run store with resume support.
 
 Every completed cell of a campaign is appended as one JSON line keyed by
 the cell's content hash (:meth:`~repro.campaign.spec.RunSpec.run_key`),
@@ -8,10 +8,38 @@ together with its output row, the full serialized
 against the same store skips every cell whose key is already present --
 the resume semantics the ``repro-mst sweep --resume`` flag exposes.
 
-The store also caches *instance descriptions* (n, m, hop-diameter) per
-graph-spec hash, so expensive ``hop_diameter`` computations happen once
-per distinct graph across all campaigns sharing the store, not once per
-cell.
+Store v2 (this module) adds three things over the original
+one-fsync-per-record file:
+
+* **Group commit.**  Appends are buffered and committed with one
+  ``write`` + one ``fsync`` per batch (``durability="batch"``, the
+  default) instead of one syscall pair per record.  The durability knob
+  also offers ``"record"`` (the original per-record fsync, for callers
+  that must never lose an acknowledged cell) and ``"none"`` (no fsync
+  at all; the OS decides).  :meth:`flush` commits the buffer explicitly
+  and the store is a context manager (``with RunStore(...) as store:``)
+  that flushes on exit; the campaign executor flushes at the end of
+  every campaign, so ``--resume`` semantics are exact no matter the
+  durability level -- at worst a crash re-runs the uncommitted tail.
+
+* **Sharded layout.**  A store path naming a *directory* holds a
+  ``MANIFEST.json`` plus ``shard-NNNNN.jsonl`` files that roll over
+  every ``shard_records`` records, so huge campaign stores never hinge
+  on one monolithic file.  A path naming a file (e.g. the classic
+  ``runs.jsonl``) keeps the original single-file layout; old stores
+  are transparently readable and writable either way.
+
+* **Maintenance.**  :meth:`compact` rewrites the store dropping
+  superseded last-record-wins duplicates; :meth:`merge_from` folds
+  another store (v1 file or v2 directory) into this one, skipping keys
+  already present -- both idempotent, both exposed as ``repro-mst
+  store compact|merge``.
+
+Crash recovery: a torn final line (a write interrupted before its
+terminating newline) is dropped on load and counted in
+``stats["recovered_lines"]``; a *terminated* corrupt line is still a
+hard :class:`~repro.exceptions.ConfigurationError`, because it means
+the file was damaged, not merely truncated.
 
 A store constructed with ``path=None`` is purely in-memory; the legacy
 experiment runners use that mode so they stay side-effect free.
@@ -31,6 +59,33 @@ from .spec import RunSpec
 #: One instance description: {"n": int, "m": int, "D": int (optional)}.
 GraphDescription = Dict[str, object]
 
+#: Supported durability levels (see :class:`RunStore`).
+DURABILITY_LEVELS = ("record", "batch", "none")
+
+#: Name of the v2 manifest file inside a sharded store directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+_SHARD_PREFIX = "shard-"
+_SHARD_SUFFIX = ".jsonl"
+
+
+def _shard_name(index: int) -> str:
+    return f"{_SHARD_PREFIX}{index:05d}{_SHARD_SUFFIX}"
+
+
+def _is_directory_layout(path: Path) -> bool:
+    """Classify a store path: directory (v2 sharded) or single file (v1).
+
+    An existing path is classified by what it is; a fresh path by its
+    spelling -- a ``.jsonl``/``.json``/``.ndjson`` suffix means the
+    classic single-file layout, anything else becomes a shard directory.
+    """
+    if path.is_dir():
+        return True
+    if path.exists():
+        return False
+    return path.suffix not in (".jsonl", ".json", ".ndjson")
+
 
 class RunStore:
     """Content-addressed storage for campaign cells (JSONL on disk).
@@ -41,31 +96,246 @@ class RunStore:
          "result": ..., "provenance": ...}
         {"kind": "graph", "key": <graph_key>, "description": {...}}
 
-    The file is append-only; on load, the last record per key wins, so
-    overwriting a cell is just appending a fresh record.
+    Storage is append-only; on load, the last record per key wins, so
+    overwriting a cell is just appending a fresh record
+    (:meth:`compact` rewrites the store without the superseded
+    records).
+
+    Args:
+        path: ``None`` for a purely in-memory store, a file path for
+            the classic single-file JSONL layout, or a directory path
+            for the sharded v2 layout (``MANIFEST.json`` +
+            ``shard-NNNNN.jsonl``).
+        durability: ``"batch"`` (default) buffers appends and commits
+            them with one fsync per :attr:`batch_size` records or
+            explicit :meth:`flush`; ``"record"`` commits and fsyncs
+            every append immediately; ``"none"`` never calls fsync.
+        batch_size: records per automatic group commit under
+            ``"batch"`` durability.
+        shard_records: records per shard file before the directory
+            layout rolls over to a new shard.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        durability: str = "batch",
+        batch_size: int = 64,
+        shard_records: int = 4096,
+    ) -> None:
+        if durability not in DURABILITY_LEVELS:
+            raise ConfigurationError(
+                f"unknown durability {durability!r}; expected one of "
+                f"{', '.join(DURABILITY_LEVELS)}"
+            )
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if shard_records < 1:
+            raise ConfigurationError(f"shard_records must be >= 1, got {shard_records}")
         self.path = Path(path) if path is not None else None
+        self.durability = durability
+        self.batch_size = batch_size
+        self.shard_records = shard_records
+        self.stats: Dict[str, int] = {
+            "appends": 0,
+            "commits": 0,
+            "fsyncs": 0,
+            "recovered_lines": 0,
+        }
         self._runs: Dict[str, Dict[str, object]] = {}
         self._graphs: Dict[str, GraphDescription] = {}
+        self._buffer: List[str] = []
+        self._handle = None
+        self._sharded = self.path is not None and _is_directory_layout(self.path)
+        #: Shard file names in commit order (single-file stores use one
+        #: pseudo-shard: the file itself).
+        self._shards: List[str] = []
+        #: Physical records in the active (last) shard.
+        self._active_records = 0
+        #: Physical records on disk across all shards (>= logical ones).
+        self._physical_records = 0
         if self.path is not None and self.path.exists():
             self._load()
+
+    # -- context manager / lifecycle -------------------------------------
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def flush(self) -> None:
+        """Commit every buffered record to disk (one write, one fsync).
+
+        A no-op for in-memory stores and when the buffer is empty.
+        Under ``durability="none"`` the data is written but not fsynced.
+        """
+        if self.path is None or not self._buffer:
+            return
+        start = 0
+        while start < len(self._buffer):
+            self._rotate_if_needed()
+            if self._sharded:
+                room = max(1, self.shard_records - self._active_records)
+                chunk = self._buffer[start : start + room]
+            else:
+                chunk = self._buffer[start:]
+            handle = self._open_handle()
+            handle.write("".join(chunk))
+            handle.flush()
+            if self.durability != "none":
+                os.fsync(handle.fileno())
+                self.stats["fsyncs"] += 1
+            self._active_records += len(chunk)
+            self._physical_records += len(chunk)
+            start += len(chunk)
+        self._buffer.clear()
+        self.stats["commits"] += 1
+
+    def close(self) -> None:
+        """Flush and release the underlying file handle."""
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- layout ----------------------------------------------------------
+
+    @property
+    def is_sharded(self) -> bool:
+        """True for the directory (v2) layout, False for a single file."""
+        return self._sharded
+
+    def shard_paths(self) -> List[Path]:
+        """The on-disk files holding this store's records, in order."""
+        if self.path is None:
+            return []
+        if not self._sharded:
+            return [self.path] if self.path.exists() else []
+        return [self.path / name for name in self._shards]
+
+    def _manifest_path(self) -> Path:
+        assert self.path is not None
+        return self.path / MANIFEST_NAME
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "version": 2,
+            "shards": list(self._shards),
+            "shard_records": self.shard_records,
+        }
+        tmp = self._manifest_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, self._manifest_path())
+
+    def _discover_shards(self) -> List[str]:
+        """Shard names from the manifest, self-healed against the directory.
+
+        Shards written after a crash (before the manifest caught up) are
+        globbed back in; shards listed but missing are dropped.  Order is
+        the shard index order either way.
+        """
+        assert self.path is not None
+        names = set()
+        manifest = self._manifest_path()
+        if manifest.exists():
+            try:
+                listed = json.loads(manifest.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"{manifest}: corrupt store manifest ({error})"
+                ) from error
+            names.update(str(name) for name in listed.get("shards", []))
+        names.update(
+            entry.name
+            for entry in self.path.glob(f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}")
+        )
+        return sorted(name for name in names if (self.path / name).exists())
+
+    def _rotate_if_needed(self) -> None:
+        """Ensure the active shard has room; roll to a new one if not."""
+        if not self._sharded:
+            return
+        if self._shards and self._active_records < self.shard_records:
+            return
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._shards.append(_shard_name(len(self._shards)))
+        self._active_records = 0
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._write_manifest()
+
+    def _open_handle(self):
+        if self._handle is None:
+            if self._sharded:
+                self._rotate_if_needed()
+                target = self.path / self._shards[-1]
+            else:
+                target = self.path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = target.open("a", encoding="utf-8")
+        return self._handle
 
     # -- loading ---------------------------------------------------------
 
     def _load(self) -> None:
         assert self.path is not None
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
+        if self._sharded:
+            self._shards = self._discover_shards()
+            for name in self._shards:
+                self._active_records = self._load_file(self.path / name)
+        else:
+            self._active_records = self._load_file(self.path)
+
+    def _load_file(self, path: Path) -> int:
+        """Load one JSONL file into the in-memory maps; returns its record count.
+
+        Streamed line by line (legacy single-file stores can be huge).
+        The final line is allowed to be torn (no terminating newline and
+        unparseable): that is the signature of a crash mid-write, and
+        the record it held was never acknowledged as committed.  Any
+        other malformed line is corruption and raises.
+        """
+        records = 0
+        needs_newline = False
+        offset = line_number = 0
+        with path.open("rb") as handle:
+            for raw in handle:
+                line_number += 1
+                line_start = offset
+                offset += len(raw)
+                # A line can lack its terminator only at EOF.
+                terminated = raw.endswith(b"\n")
+                stripped = raw.strip()
+                if not stripped:
                     continue
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
+                    record = json.loads(stripped)
+                    if not terminated:
+                        # The tear landed exactly between the record's
+                        # last byte and its newline: the record is
+                        # complete and kept, but the file must be
+                        # re-terminated or the next append would
+                        # concatenate onto this line and corrupt it for
+                        # every later reader.
+                        needs_newline = True
+                except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                    if not terminated:
+                        # Torn write: the crash interrupted this append.
+                        # The tail must also be cut from the file, or
+                        # later appends would concatenate onto the
+                        # half-record and corrupt the line for every
+                        # subsequent reader.
+                        self.stats["recovered_lines"] += 1
+                        try:
+                            os.truncate(path, line_start)
+                        except OSError:
+                            pass  # read-only store: recovery stays in-memory
+                        continue
                     raise ConfigurationError(
-                        f"{self.path}:{line_number}: corrupt run-store line ({error})"
+                        f"{path}:{line_number}: corrupt run-store line ({error})"
                     ) from error
                 kind = record.get("kind")
                 if kind == "run":
@@ -74,20 +344,30 @@ class RunStore:
                     self._graphs[str(record["key"])] = dict(record["description"])
                 else:
                     raise ConfigurationError(
-                        f"{self.path}:{line_number}: unknown record kind {kind!r}"
+                        f"{path}:{line_number}: unknown record kind {kind!r}"
                     )
+                records += 1
+                self._physical_records += 1
+        if needs_newline:
+            try:
+                with path.open("a", encoding="utf-8") as handle:
+                    handle.write("\n")
+            except OSError:
+                pass  # read-only store: the in-memory state is still right
+        return records
+
+    # -- writing ---------------------------------------------------------
 
     def _append(self, record: Dict[str, object]) -> None:
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            # No sort_keys: records are built in deterministic order, and
-            # preserving row insertion order keeps table columns stable
-            # when rows are reloaded on resume.
-            handle.write(json.dumps(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        # No sort_keys: records are built in deterministic order, and
+        # preserving row insertion order keeps table columns stable
+        # when rows are reloaded on resume.
+        self._buffer.append(json.dumps(record) + "\n")
+        self.stats["appends"] += 1
+        if self.durability == "record" or len(self._buffer) >= self.batch_size:
+            self.flush()
 
     # -- run records -----------------------------------------------------
 
@@ -155,3 +435,99 @@ class RunStore:
 
     def graph_keys(self) -> List[str]:
         return list(self._graphs)
+
+    # -- maintenance -----------------------------------------------------
+
+    def _live_records(self) -> Iterator[Dict[str, object]]:
+        """Every live (non-superseded) record: graphs first, then runs."""
+        for key, description in self._graphs.items():
+            yield {"kind": "graph", "key": key, "description": dict(description)}
+        yield from self._runs.values()
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the store keeping only the last record per key.
+
+        Drops superseded duplicates (``resume=False`` re-runs, merged
+        overlaps).  The rewrite is crash-safe: the full live record set
+        is written to a temporary and renamed into place (for sharded
+        stores: as one consolidated shard) before any old file is
+        removed, so no window loses committed records.  A second
+        :meth:`compact` is a no-op (idempotent).  Returns
+        ``{"before": .., "after": .., "dropped": ..}`` physical record
+        counts; in-memory stores report zeros.
+        """
+        if self.path is None:
+            return {"before": 0, "after": 0, "dropped": 0}
+        self.close()
+        live = list(self._live_records())
+        before = self._physical_records
+        if self._sharded:
+            self.path.mkdir(parents=True, exist_ok=True)
+            # The compacted output is one shard regardless of
+            # shard_records (appends re-grow the shard set from there):
+            # a single os.replace switches the whole live record set
+            # atomically *before* any old shard is removed.  Every
+            # crash window is then safe -- stale shards left behind
+            # only re-assert the newest value of keys they contain
+            # (within-shard order is append order), and the
+            # self-healing glob drops them once the unlinks complete.
+            name = _shard_name(0)
+            self._rewrite_atomically(self.path / name, live)
+            for stale in self._shards:
+                if stale != name:
+                    (self.path / stale).unlink(missing_ok=True)
+            self._shards = [name]
+            self._write_manifest()
+        else:
+            self._rewrite_atomically(self.path, live)
+        self._active_records = len(live)
+        self._physical_records = len(live)
+        return {"before": before, "after": len(live), "dropped": before - len(live)}
+
+    def _rewrite_atomically(self, target: Path, records: List[Dict[str, object]]) -> None:
+        """Write ``records`` to a temporary and rename it over ``target``.
+
+        Always fsyncs, whatever the durability level: this path deletes
+        the only other copy of committed (possibly fsynced) records, so
+        the knob that governs append acknowledgment latency must not
+        weaken a destructive rewrite.
+        """
+        tmp = target.with_name(target.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+
+    def merge_from(self, source: Union["RunStore", str, Path]) -> Dict[str, int]:
+        """Fold ``source`` (a store, or a path to one) into this store.
+
+        Records whose key this store already holds are kept as-is, which
+        makes merging the same source twice -- or merging stores from
+        parallel CI shards that overlap -- idempotent.  Returns
+        ``{"runs": .., "graphs": .., "skipped": ..}`` counts.
+        """
+        if not isinstance(source, RunStore):
+            source_path = Path(source)
+            if not source_path.exists():
+                raise ConfigurationError(f"no run store at {source_path}")
+            source = RunStore(source_path)
+        if self.path is not None and source.path == self.path:
+            raise ConfigurationError("cannot merge a store into itself")
+        merged_graphs = merged_runs = skipped = 0
+        for key, description in source._graphs.items():
+            if key in self._graphs:
+                skipped += 1
+                continue
+            self.record_graph(key, description)
+            merged_graphs += 1
+        for key, record in source._runs.items():
+            if key in self._runs:
+                skipped += 1
+                continue
+            self._runs[key] = record
+            self._append(record)
+            merged_runs += 1
+        self.flush()
+        return {"runs": merged_runs, "graphs": merged_graphs, "skipped": skipped}

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .algorithms import available_algorithms
@@ -48,7 +49,9 @@ from .campaign import (
     graph_spec_for,
     preset_campaign,
 )
+from .campaign.store import DURABILITY_LEVELS
 from .config import RunConfig
+from .exceptions import ConfigurationError
 from .graphs.generators import available_families, make_graph
 from .graphs.properties import graph_summary
 from .logging_utils import enable_console_logging
@@ -218,6 +221,53 @@ def build_parser() -> argparse.ArgumentParser:
         "keeps each preset's own engine (ad-hoc grids default to "
         f"{DEFAULT_ENGINE!r})",
     )
+    campaign_parser.add_argument(
+        "--durability",
+        default="batch",
+        choices=DURABILITY_LEVELS,
+        help="run-store commit policy: 'batch' group-commits with one "
+        "fsync per batch (default), 'record' fsyncs every record, "
+        "'none' never fsyncs (see DESIGN.md, Section 11)",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="aggregate a run store into the campaign analysis report "
+        "(per-family tables, scaling fits, theorem-bound audit)",
+    )
+    report_parser.add_argument(
+        "--store", required=True, metavar="PATH", help="run store (JSONL file or directory)"
+    )
+    report_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the rendered markdown here (e.g. EXPERIMENTS.md); "
+        "the default prints it to stdout",
+    )
+    report_parser.add_argument(
+        "--title", default="EXPERIMENTS", help="top-level heading of the document"
+    )
+
+    store_parser = subparsers.add_parser(
+        "store", help="run-store maintenance (compact / merge)"
+    )
+    store_commands = store_parser.add_subparsers(dest="store_command", required=True)
+    compact_parser = store_commands.add_parser(
+        "compact", help="rewrite a store dropping superseded (last-record-wins) duplicates"
+    )
+    compact_parser.add_argument(
+        "--store", required=True, metavar="PATH", help="run store to compact in place"
+    )
+    merge_parser = store_commands.add_parser(
+        "merge", help="fold one or more stores into a destination store (idempotent)"
+    )
+    merge_parser.add_argument(
+        "--into", required=True, metavar="DEST", help="destination store (created if missing)"
+    )
+    merge_parser.add_argument(
+        "sources", nargs="+", metavar="STORE", help="source stores (JSONL files or directories)"
+    )
     return parser
 
 
@@ -239,7 +289,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             engines=(args.engine or DEFAULT_ENGINE,),
             seeds=tuple(args.seeds),
         )
-    store = RunStore(args.output) if args.output else None
+    store = RunStore(args.output, durability=args.durability) if args.output else None
     report = execute_campaign(
         campaign,
         store=store,
@@ -248,18 +298,51 @@ def _run_sweep(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
         batch=args.batch,
     )
-    # Column union across all rows: mixed-algorithm grids would otherwise
-    # lose the elkin bound columns whenever the first row is a baseline.
-    columns: List[str] = []
-    for row in report.rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
-    print(format_table(report.rows, columns))
+    print(format_table(report.rows))
     summary = report.summary()
     if args.output:
+        store.close()
         summary += f" -> {args.output}"
     print(summary)
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    """Handle the ``report`` subcommand."""
+    from .analysis.report import write_report
+
+    store_path = Path(args.store)
+    if not store_path.exists():
+        raise ConfigurationError(f"no run store at {store_path}")
+    document = write_report(RunStore(store_path), output=args.output, title=args.title)
+    if args.output:
+        print(f"wrote campaign report -> {args.output}")
+    else:
+        print(document, end="")
+    return 0
+
+
+def _run_store_maintenance(args: argparse.Namespace) -> int:
+    """Handle the ``store compact`` / ``store merge`` subcommands."""
+    if args.store_command == "compact":
+        store_path = Path(args.store)
+        if not store_path.exists():
+            raise ConfigurationError(f"no run store at {store_path}")
+        with RunStore(store_path) as store:
+            stats = store.compact()
+        print(
+            f"compacted {args.store}: {stats['before']} -> {stats['after']} records "
+            f"({stats['dropped']} superseded dropped)"
+        )
+    else:
+        with RunStore(args.into) as destination:
+            for source in args.sources:
+                stats = destination.merge_from(source)
+                print(
+                    f"merged {source} -> {args.into}: {stats['runs']} runs, "
+                    f"{stats['graphs']} graphs ({stats['skipped']} already present)"
+                )
+        print(f"destination holds {len(destination)} runs")
     return 0
 
 
@@ -272,6 +355,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "store":
+        return _run_store_maintenance(args)
 
     graph = _build_graph(args)
     summary = graph_summary(graph)

@@ -10,6 +10,8 @@ failure rather than silently reporting a number).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.bounds import (
     controlled_ghs_message_bound,
     controlled_ghs_time_bound,
@@ -22,7 +24,9 @@ from ..exceptions import VerificationError
 from ..types import CostReport
 
 
-def elkin_time_bound(result: MSTRunResult, constant: float = 24.0) -> float:
+def elkin_time_bound(
+    result: MSTRunResult, constant: float = 24.0, diameter: Optional[int] = None
+) -> float:
     """The Theorem 3.2 round bound evaluated for ``result``'s instance.
 
     The BFS depth recorded on the result is used as the diameter term; it
@@ -30,10 +34,23 @@ def elkin_time_bound(result: MSTRunResult, constant: float = 24.0) -> float:
     passes with the BFS depth would also pass with the true ``D``).  The
     default constant doubles the calibrated one to absorb that the BFS
     depth may be as small as ``D / 2``.
+
+    A result without a recorded BFS depth -- rehydrated from an old run
+    store, or produced by a baseline that never builds a BFS tree --
+    falls back to ``diameter`` (the instance description's hop-diameter
+    ``D``, which only loosens the bound).  When neither is available the
+    check refuses to run: silently using 0 would *tighten* the bound and
+    fail runs that actually conform.
     """
-    diameter_term = int(result.details.get("bfs_depth", 0))
+    diameter_term = result.details.get("bfs_depth", diameter)
+    if diameter_term is None:
+        raise VerificationError(
+            f"cannot evaluate the Theorem 3.2 round bound for {result.algorithm!r}: "
+            "the result records no 'bfs_depth' and no instance diameter was "
+            "supplied; pass diameter=D from the instance description"
+        )
     return elkin_time_bound_formula(
-        result.n, diameter_term, result.bandwidth, constant=constant
+        result.n, int(diameter_term), result.bandwidth, constant=constant
     )
 
 
@@ -42,9 +59,13 @@ def elkin_message_bound(result: MSTRunResult, constant: float = 12.0) -> float:
     return elkin_message_bound_formula(result.n, result.m, constant=constant)
 
 
-def assert_elkin_bounds(result: MSTRunResult) -> None:
-    """Raise :class:`VerificationError` if a run exceeded the theorem bounds."""
-    time_bound = elkin_time_bound(result)
+def assert_elkin_bounds(result: MSTRunResult, diameter: Optional[int] = None) -> None:
+    """Raise :class:`VerificationError` if a run exceeded the theorem bounds.
+
+    ``diameter`` is the instance's hop-diameter fallback for results
+    that carry no BFS depth (see :func:`elkin_time_bound`).
+    """
+    time_bound = elkin_time_bound(result, diameter=diameter)
     if result.rounds > time_bound:
         raise VerificationError(
             f"round count {result.rounds} exceeds the Theorem 3.1/3.2 bound {time_bound:.0f} "

@@ -85,6 +85,20 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--preset", "e99"])
 
+    def test_sweep_durability_choices(self):
+        assert build_parser().parse_args(["sweep"]).durability == "batch"
+        args = build_parser().parse_args(["sweep", "--durability", "record"])
+        assert args.durability == "record"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--durability", "paranoid"])
+
+    def test_sweep_durability_reaches_the_store(self, capsys, tmp_path):
+        store = str(tmp_path / "runs.jsonl")
+        argv = ["sweep", "--families", "random_connected", "--sizes", "16",
+                "--seeds", "0", "--output", store, "--durability", "record"]
+        assert main(argv) == 0
+        assert (tmp_path / "runs.jsonl").read_text().count('"kind"') >= 2
+
     def test_sweep_grid_smoke(self, capsys):
         exit_code = main(
             ["sweep", "--families", "random_connected", "--sizes", "20",

@@ -1,0 +1,336 @@
+"""The campaign report pipeline and the three analysis-layer bugfixes.
+
+``golden_experiments.md`` is the pinned rendering of the report over
+``golden_rows.jsonl`` -- the report-pipeline counterpart of the golden
+run-row fixture.  Regenerate (only when an output change is intended)::
+
+    PYTHONPATH=src python tests/test_report.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import (
+    analyze_rows,
+    family_of,
+    render_markdown,
+    write_report,
+)
+from repro.analysis.tables import format_table
+from repro.exceptions import ConfigurationError, ReproError, VerificationError
+
+GOLDEN_ROWS = Path(__file__).parent / "golden_rows.jsonl"
+GOLDEN_REPORT = Path(__file__).parent / "golden_experiments.md"
+
+
+def _golden_rows() -> list:
+    with GOLDEN_ROWS.open("r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestFormatTableUnionRegression:
+    """Bugfix: columns present only in later rows must not be dropped."""
+
+    def test_union_of_all_rows_keys(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3, "b": 4, "c": 5}])
+        assert "c" in text.splitlines()[0]
+        assert text.splitlines()[-1].split() == ["3", "4", "5"]
+
+    def test_first_seen_order_is_preserved(self):
+        text = format_table([{"b": 1}, {"a": 2, "c": 3}, {"d": 4}])
+        assert text.splitlines()[0].split() == ["b", "a", "c", "d"]
+
+    def test_missing_cells_render_as_dash(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "-" in text.splitlines()[2]
+
+    def test_explicit_columns_still_win(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert text.splitlines()[0].split() == ["b"]
+
+
+class TestPrsForcedKRegression:
+    """Bugfix: the sqrt(n) base forest must not be clamped by n // 10."""
+
+    def test_small_n_uses_ceil_sqrt_n(self):
+        # n = 30: ceil(sqrt(30)) = 6, but the old n // 10 clamp forced 3.
+        from repro.baselines.prs import prs_style_mst
+        from repro.graphs import random_connected_graph
+
+        result = prs_style_mst(random_connected_graph(30, seed=2))
+        assert result.details["forced_k"] == 6
+        assert result.details["ceil_sqrt_n"] == 6
+
+    def test_forced_k_matches_docstring_for_sample_sizes(self):
+        import math
+
+        from repro.baselines.prs import prs_style_mst
+        from repro.graphs import random_connected_graph
+
+        for n in (12, 50, 64):
+            result = prs_style_mst(random_connected_graph(n, seed=1))
+            assert result.details["forced_k"] == math.ceil(math.sqrt(n))
+
+
+class TestElkinTimeBoundFallbackRegression:
+    """Bugfix: a missing bfs_depth must not silently tighten the bound to 0."""
+
+    @pytest.fixture()
+    def stripped_result(self, small_random_graph):
+        from repro.core.elkin_mst import compute_mst
+
+        result = compute_mst(small_random_graph)
+        result.details.pop("bfs_depth", None)
+        return result
+
+    def test_missing_depth_and_diameter_raises_clearly(self, stripped_result):
+        from repro.verify.complexity_checks import elkin_time_bound
+
+        with pytest.raises(VerificationError, match="bfs_depth"):
+            elkin_time_bound(stripped_result)
+
+    def test_instance_diameter_fallback(self, small_random_graph, stripped_result):
+        from repro.analysis.bounds import elkin_time_bound_formula
+        from repro.graphs.properties import hop_diameter
+        from repro.verify.complexity_checks import assert_elkin_bounds, elkin_time_bound
+
+        diameter = hop_diameter(small_random_graph)
+        bound = elkin_time_bound(stripped_result, diameter=diameter)
+        assert bound == elkin_time_bound_formula(
+            stripped_result.n, diameter, stripped_result.bandwidth, constant=24.0
+        )
+        assert_elkin_bounds(stripped_result, diameter=diameter)
+
+    def test_recorded_depth_still_preferred(self, small_random_graph):
+        from repro.core.elkin_mst import compute_mst
+        from repro.verify.complexity_checks import elkin_time_bound
+
+        result = compute_mst(small_random_graph)
+        # An absurd fallback diameter must not override the recorded depth.
+        assert elkin_time_bound(result, diameter=10**6) == elkin_time_bound(result)
+
+
+class TestAnalyzeRows:
+    def test_family_grouping(self):
+        analysis = analyze_rows(_golden_rows())
+        assert set(analysis.families) == {
+            "planted_fragments",
+            "hypercube",
+            "duplicate_weight_stress",
+        }
+        assert sum(len(rows) for rows in analysis.families.values()) == len(analysis.rows)
+
+    def test_family_of_handles_bare_labels(self):
+        assert family_of({"graph": "mygraph"}) == "mygraph"
+        assert family_of({}) == "unknown"
+
+    def test_bound_audit_is_clean_on_golden_rows(self):
+        analysis = analyze_rows(_golden_rows())
+        assert analysis.bound_checked == 6  # 3 graphs x 2 engines
+        assert analysis.bound_violations == 0
+        assert analysis.bound_skipped == 0
+
+    def test_bound_audit_flags_inflated_rows(self):
+        rows = _golden_rows()
+        inflated = [dict(row) for row in rows]
+        for row in inflated:
+            if row["algorithm"] == "elkin":
+                row["rounds"] = 10**9
+        analysis = analyze_rows(inflated)
+        assert analysis.bound_violations == analysis.bound_checked
+        assert all(v.metric == "rounds" for v in analysis.violations)
+
+    def test_round_bound_skipped_without_diameter_never_tightened_to_zero(self):
+        """Report-level mirror of the elkin_time_bound fallback contract."""
+        rows = [dict(row) for row in _golden_rows() if row["algorithm"] == "elkin"]
+        for row in rows:
+            row.pop("D", None)
+        analysis = analyze_rows(rows)
+        # The message bound needs only n and m, so the rows still count
+        # as checked; only the round check is marked unauditable.
+        assert analysis.bound_checked == len(rows)
+        assert analysis.bound_skipped == len(rows)
+        assert analysis.bound_violations == 0
+        assert "round-bound unauditable" in render_markdown(analysis)
+
+    def test_message_bound_still_audited_without_diameter(self):
+        """A diameter-less row must not dodge the Theorem 3.1 message audit."""
+        rows = [dict(row) for row in _golden_rows() if row["algorithm"] == "elkin"]
+        for row in rows:
+            row.pop("D", None)
+            row["messages"] = 10**12
+        analysis = analyze_rows(rows)
+        assert analysis.bound_violations == len(rows)
+        assert all(v.metric == "messages" for v in analysis.violations)
+
+    def test_recorded_bound_columns_trusted_when_present(self):
+        rows = [dict(row) for row in _golden_rows() if row["algorithm"] == "elkin"]
+        for row in rows:
+            row.pop("D", None)
+            row["round_bound"] = 1  # recorded bound, deliberately violated
+        analysis = analyze_rows(rows)
+        assert analysis.bound_checked == len(rows)
+        assert analysis.bound_violations == len(rows)
+
+    def test_fits_cover_distributed_algorithms_only(self):
+        analysis = analyze_rows(_golden_rows())
+        fitted = {fit.algorithm for fit in analysis.fits}
+        assert "elkin" in fitted and "ghs" in fitted
+        assert "kruskal" not in fitted and "prim" not in fitted
+
+    def test_messages_fit_exists_and_n_fit_reports_no_spread(self):
+        # The golden instances share n = 16: rounds-vs-n has no spread,
+        # messages-vs-m does (m = 31, 32, 47).
+        analysis = analyze_rows(_golden_rows())
+        by_key = {(fit.algorithm, fit.metric): fit for fit in analysis.fits}
+        assert by_key[("elkin", "messages")].fit is not None
+        assert by_key[("elkin", "rounds")].fit is None
+        assert "insufficient spread" in by_key[("elkin", "rounds")].note
+
+    def test_crossover_pairs_elkin_with_prs(self):
+        analysis = analyze_rows(_golden_rows())
+        assert len(analysis.crossover) == 6  # 3 graphs x 2 engines
+        for row in analysis.crossover:
+            assert row["prs/elkin"] > 0
+
+    def test_crossover_pairs_rows_per_seed(self):
+        """Multi-seed sweeps must pair rows that actually ran together."""
+        template = next(row for row in _golden_rows() if row["algorithm"] == "elkin")
+        rows = []
+        for seed in (0, 1):
+            for algorithm, messages in (("elkin", 100 + seed), ("prs", 300 + seed)):
+                row = dict(template)
+                # Same presentation label for both seeds: only the seed
+                # column distinguishes the cells.
+                row.update(graph="relabeled", algorithm=algorithm, seed=seed,
+                           messages=messages)
+                rows.append(row)
+        analysis = analyze_rows(rows)
+        assert len(analysis.crossover) == 2  # one pairing per seed
+        ratios = sorted(row["prs/elkin"] for row in analysis.crossover)
+        assert ratios == sorted([round(300 / 100, 3), round(301 / 101, 3)])
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            analyze_rows([])
+
+
+class TestGoldenExperimentsFixture:
+    def test_fixture_exists(self):
+        assert GOLDEN_REPORT.exists(), (
+            "golden report fixture missing; regenerate with: "
+            "PYTHONPATH=src python tests/test_report.py --regenerate"
+        )
+
+    def test_rendering_matches_the_fixture(self):
+        document = render_markdown(analyze_rows(_golden_rows()))
+        assert document == GOLDEN_REPORT.read_text(encoding="utf-8"), (
+            "report rendering drifted from tests/golden_experiments.md; if "
+            "intended, regenerate with: "
+            "PYTHONPATH=src python tests/test_report.py --regenerate"
+        )
+
+    def test_fixture_contains_the_acceptance_sections(self):
+        text = GOLDEN_REPORT.read_text(encoding="utf-8")
+        assert "bound-violation count: **0**" in text
+        assert "## Scaling fits" in text
+        assert "## Per-family results" in text
+        assert "exponent" in text
+
+
+class TestWriteReport:
+    def test_write_report_from_store(self, tmp_path):
+        from repro.campaign import Campaign, RunStore, execute_campaign, graph_spec_for
+
+        campaign = Campaign.from_grid(
+            "report", [graph_spec_for("random_connected", 16)], seeds=(0,)
+        )
+        store = RunStore(tmp_path / "store")
+        execute_campaign(campaign, store=store)
+        output = tmp_path / "EXPERIMENTS.md"
+        document = write_report(store, output=str(output))
+        assert output.read_text(encoding="utf-8") == document
+        assert "bound-violation count: **0**" in document
+
+    def test_runner_report_convenience(self, tmp_path):
+        from repro.api import Runner, Scenario
+        from repro.graphs import GraphSpec
+
+        runner = Runner(store=str(tmp_path / "store.jsonl"))
+        runner.run(Scenario(graph=GraphSpec("random_connected", {"n": 16, "seed": 0})))
+        document = runner.report(output=str(tmp_path / "EXPERIMENTS.md"))
+        assert (tmp_path / "EXPERIMENTS.md").exists()
+        assert "rows: 1" in document
+
+
+class TestReportCLI:
+    @pytest.fixture()
+    def populated_store(self, tmp_path):
+        from repro.cli import main
+
+        path = str(tmp_path / "store.jsonl")
+        assert (
+            main(
+                ["sweep", "--families", "random_connected", "--sizes", "16",
+                 "--algorithms", "elkin", "ghs", "--seeds", "0", "--output", path]
+            )
+            == 0
+        )
+        return path
+
+    def test_report_prints_to_stdout(self, populated_store, capsys):
+        from repro.cli import main
+
+        capsys.readouterr()
+        assert main(["report", "--store", populated_store]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# EXPERIMENTS")
+        assert "bound-violation count: **0**" in out
+
+    def test_report_writes_output_file(self, populated_store, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--store", populated_store, "--output", str(output)]) == 0
+        assert "wrote campaign report" in capsys.readouterr().out
+        assert output.read_text(encoding="utf-8").startswith("# EXPERIMENTS")
+
+    def test_report_missing_store_rejected(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(ConfigurationError, match="no run store"):
+            main(["report", "--store", str(tmp_path / "nope.jsonl")])
+
+    def test_store_compact_subcommand(self, populated_store, capsys):
+        from repro.cli import main
+
+        assert main(["store", "compact", "--store", populated_store]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    def test_store_merge_subcommand(self, populated_store, tmp_path, capsys):
+        from repro.cli import main
+
+        dest = str(tmp_path / "merged")
+        assert main(["store", "merge", "--into", dest, populated_store]) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out and "2 runs" in out
+        # Merged store serves the report too.
+        assert main(["report", "--store", dest]) == 0
+
+
+def _regenerate() -> None:
+    document = render_markdown(analyze_rows(_golden_rows()))
+    GOLDEN_REPORT.write_text(document, encoding="utf-8")
+    print(f"wrote golden report fixture to {GOLDEN_REPORT}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,401 @@
+"""Store v2: group commit, durability matrix, sharding, compact and merge.
+
+The contract under test (DESIGN.md, Section 11): whatever the
+durability level and on-disk layout, a campaign that returned has all
+of its records on disk, resume semantics are exact, and the final rows
+are byte-identical to the original per-record-fsync single-file store.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, RunStore, execute_campaign, graph_spec_for
+from repro.campaign.store import DURABILITY_LEVELS, MANIFEST_NAME
+from repro.exceptions import ConfigurationError
+
+
+def _campaign(cells: int = 4) -> Campaign:
+    graphs = [graph_spec_for("random_connected", 16), graph_spec_for("grid", 16)]
+    return Campaign.from_grid(
+        "store-v2",
+        graphs,
+        algorithms=("elkin", "ghs") if cells >= 4 else ("elkin",),
+        seeds=(0,),
+    )
+
+
+class TestDurabilityMatrix:
+    @pytest.mark.parametrize("durability", DURABILITY_LEVELS)
+    def test_sweep_persists_and_reloads_under_every_level(self, tmp_path, durability):
+        store = RunStore(tmp_path / "store", durability=durability)
+        report = execute_campaign(_campaign(), store=store)
+        store.close()
+        reloaded = RunStore(tmp_path / "store")
+        assert len(reloaded) == len(report.rows)
+        for key in store.run_keys():
+            assert reloaded.get_row(key) == store.get_row(key)
+
+    def test_batch_mode_fsyncs_once_per_commit_not_per_record(self, tmp_path):
+        record = RunStore(tmp_path / "record.jsonl", durability="record")
+        batch = RunStore(tmp_path / "batch.jsonl", durability="batch")
+        execute_campaign(_campaign(), store=record)
+        execute_campaign(_campaign(), store=batch)
+        batch.close()
+        assert record.stats["fsyncs"] == record.stats["appends"]
+        assert batch.stats["fsyncs"] < record.stats["fsyncs"]
+        assert batch.stats["fsyncs"] == batch.stats["commits"]
+
+    def test_none_durability_never_fsyncs(self, tmp_path):
+        store = RunStore(tmp_path / "store.jsonl", durability="none")
+        execute_campaign(_campaign(), store=store)
+        store.close()
+        assert store.stats["fsyncs"] == 0
+        assert len(RunStore(tmp_path / "store.jsonl")) == len(_campaign())
+
+    def test_unknown_durability_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="durability"):
+            RunStore(tmp_path / "store.jsonl", durability="paranoid")
+
+    def test_rows_byte_identical_to_v1_per_record_mode(self, tmp_path):
+        """Acceptance: batched v2 rows == per-record-fsync v1-style rows."""
+        campaign = _campaign()
+        v1 = RunStore(tmp_path / "v1.jsonl", durability="record", batch_size=1)
+        v2 = RunStore(tmp_path / "v2-dir", durability="batch")
+        execute_campaign(campaign, store=v1)
+        execute_campaign(campaign, store=v2)
+        v1.close(), v2.close()
+        for key in campaign.run_keys():
+            assert json.dumps(v1.get_row(key), sort_keys=True) == json.dumps(
+                v2.get_row(key), sort_keys=True
+            )
+            assert v1.get_result(key).to_json_dict() == v2.get_result(key).to_json_dict()
+        # ... and the run records on disk parse to the same payloads.
+        reload_v1, reload_v2 = RunStore(tmp_path / "v1.jsonl"), RunStore(tmp_path / "v2-dir")
+        for key in campaign.run_keys():
+            assert reload_v1.get_row(key) == reload_v2.get_row(key)
+            assert reload_v1.get_provenance(key)["verified"] is True
+
+
+class TestGroupCommit:
+    def test_appends_are_buffered_until_flush(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = RunStore(path, durability="batch", batch_size=1000)
+        store.record_graph("g1", {"n": 4, "m": 3})
+        assert not path.exists() or path.read_text() == ""
+        store.flush()
+        assert path.read_text().count("\n") == 1
+
+    def test_batch_size_triggers_automatic_commit(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = RunStore(path, durability="batch", batch_size=2)
+        store.record_graph("g1", {"n": 4, "m": 3})
+        assert not path.exists()
+        store.record_graph("g2", {"n": 5, "m": 4})
+        assert path.read_text().count("\n") == 2
+        assert store.stats["commits"] == 1
+
+    def test_context_manager_flushes_on_exit(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with RunStore(path, durability="batch", batch_size=1000) as store:
+            store.record_graph("g1", {"n": 4, "m": 3})
+        assert path.read_text().count("\n") == 1
+
+    def test_campaign_execution_flushes_before_returning(self, tmp_path):
+        store = RunStore(tmp_path / "store.jsonl", durability="batch", batch_size=1000)
+        execute_campaign(_campaign(), store=store)
+        # Without an explicit close: everything already on disk.
+        assert len(RunStore(tmp_path / "store.jsonl")) == len(_campaign())
+
+    def test_interrupted_campaign_still_persists_completed_cells(self, tmp_path):
+        """An exception mid-campaign must not discard the buffered tail."""
+        from unittest.mock import patch
+
+        from repro.campaign import executor as executor_module
+
+        campaign = _campaign()
+        calls = {"n": 0}
+        original = executor_module.run_single
+
+        def explode_on_third(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return original(*args, **kwargs)
+
+        store = RunStore(tmp_path / "store.jsonl", durability="batch", batch_size=1000)
+        with patch.object(executor_module, "run_single", explode_on_third):
+            with pytest.raises(KeyboardInterrupt):
+                execute_campaign(campaign, store=store, batch=False)
+        # The two completed cells reached disk despite the interrupt...
+        reloaded = RunStore(tmp_path / "store.jsonl")
+        assert len(reloaded) == 2
+        # ... so resume re-runs only the remaining cells.
+        resumed = execute_campaign(campaign, store=reloaded)
+        assert resumed.reused == 2
+        assert resumed.executed == len(campaign) - 2
+
+
+class TestCrashRecovery:
+    def test_torn_final_line_is_dropped_on_load(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = RunStore(path, durability="record")
+        execute_campaign(_campaign(), store=store)
+        store.close()
+        intact = len(RunStore(path))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "run", "key": "torn", "sp')  # no newline: torn write
+        recovered = RunStore(path)
+        assert recovered.stats["recovered_lines"] == 1
+        assert len(recovered) == intact
+        assert not recovered.has_run("torn")
+
+    def test_torn_tail_is_truncated_so_later_appends_stay_clean(self, tmp_path):
+        """Recovery must cut the half-record, not just skip it in memory."""
+        path = tmp_path / "store.jsonl"
+        store = RunStore(path, durability="record")
+        store.record_graph("g1", {"n": 4, "m": 3})
+        store.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "gr')
+        recovered = RunStore(path, durability="record")
+        assert recovered.stats["recovered_lines"] == 1
+        assert path.read_text().endswith("\n")  # tail physically removed
+        recovered.record_graph("g2", {"n": 5, "m": 4})
+        recovered.close()
+        # A third open parses every line: nothing concatenated onto garbage.
+        final = RunStore(path)
+        assert final.stats["recovered_lines"] == 0
+        assert sorted(final.graph_keys()) == ["g1", "g2"]
+
+    def test_resume_re_runs_only_the_lost_tail(self, tmp_path):
+        """Crash mid-batch: the uncommitted tail re-runs, nothing else."""
+        path = tmp_path / "store.jsonl"
+        campaign = _campaign()
+        store = RunStore(path, durability="record")
+        execute_campaign(campaign, store=store)
+        store.close()
+        # Simulate the crash: drop the last committed run record plus a
+        # torn half-line, as an interrupted group commit would leave.
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + '{"kind": "ru')
+        resumed = execute_campaign(campaign, store=RunStore(path))
+        assert resumed.executed == 1
+        assert resumed.reused == len(campaign) - 1
+        # The re-run row matches the one the crash destroyed.
+        original = json.loads(lines[-1])
+        assert resumed.rows[-1] == original["row"]
+
+    def test_unterminated_but_parseable_tail_is_kept_and_reterminated(self, tmp_path):
+        """A tear exactly before the newline leaves a complete record.
+
+        The record must be kept -- and the file re-terminated, or the
+        next append would concatenate onto the line and corrupt the
+        whole store for every later reader.
+        """
+        path = tmp_path / "store.jsonl"
+        store = RunStore(path, durability="record")
+        store.record_graph("g1", {"n": 4, "m": 3})
+        store.close()
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))  # tear off the newline
+        recovered = RunStore(path, durability="record")
+        assert recovered.graph_keys() == ["g1"]  # complete record kept
+        assert path.read_text().endswith("\n")  # file re-terminated
+        recovered.record_graph("g2", {"n": 5, "m": 4})
+        recovered.close()
+        final = RunStore(path)
+        assert sorted(final.graph_keys()) == ["g1", "g2"]
+        assert final.stats["recovered_lines"] == 0
+
+    def test_terminated_corruption_still_raises(self, tmp_path):
+        """A *complete* bad line is damage, not truncation: hard error."""
+        path = tmp_path / "store.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            RunStore(path)
+
+    def test_mid_file_corruption_raises_even_without_final_newline(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('garbage\n{"kind": "graph", "key": "g", "description"')
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            RunStore(path)
+
+
+class TestShardedLayout:
+    def test_directory_path_selects_the_sharded_layout(self, tmp_path):
+        assert RunStore(tmp_path / "store-dir").is_sharded
+        assert not RunStore(tmp_path / "store.jsonl").is_sharded
+
+    def test_existing_paths_classified_by_what_they_are(self, tmp_path):
+        (tmp_path / "dir").mkdir()
+        (tmp_path / "flat").write_text("")
+        assert RunStore(tmp_path / "dir").is_sharded
+        assert not RunStore(tmp_path / "flat").is_sharded
+
+    def test_shards_roll_over_and_reload(self, tmp_path):
+        campaign = _campaign()
+        store = RunStore(tmp_path / "store", shard_records=2, batch_size=3)
+        report = execute_campaign(campaign, store=store)
+        store.close()
+        shards = sorted(p.name for p in (tmp_path / "store").glob("shard-*.jsonl"))
+        assert len(shards) >= 2
+        for shard in shards[:-1]:
+            lines = (tmp_path / "store" / shard).read_text().count("\n")
+            assert lines == 2
+        manifest = json.loads((tmp_path / "store" / MANIFEST_NAME).read_text())
+        assert manifest["version"] == 2
+        assert sorted(manifest["shards"]) == shards
+        reloaded = RunStore(tmp_path / "store")
+        assert len(reloaded) == len(campaign)
+        assert [reloaded.get_row(key) for key in campaign.run_keys()] == report.rows
+
+    def test_shard_not_in_manifest_is_globbed_back(self, tmp_path):
+        """Self-healing: a crash between shard creation and manifest update."""
+        store = RunStore(tmp_path / "store", shard_records=2, batch_size=2)
+        execute_campaign(_campaign(), store=store)
+        store.close()
+        manifest_path = tmp_path / "store" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"] = manifest["shards"][:1]
+        manifest_path.write_text(json.dumps(manifest))
+        assert len(RunStore(tmp_path / "store")) == len(_campaign())
+
+    def test_legacy_single_file_store_reads_transparently(self, tmp_path):
+        """A v1-era file (one record per line, no manifest) just works."""
+        path = tmp_path / "legacy.jsonl"
+        store = RunStore(path, durability="record")
+        report = execute_campaign(_campaign(), store=store)
+        store.close()
+        legacy = RunStore(path)
+        assert not legacy.is_sharded
+        assert len(legacy) == len(report.rows)
+        # ... and it can keep serving resumes and merges.
+        resumed = execute_campaign(_campaign(), store=RunStore(path))
+        assert resumed.executed == 0
+
+
+class TestCompact:
+    def test_compact_drops_superseded_records(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        campaign = _campaign()
+        store = RunStore(path)
+        execute_campaign(campaign, store=store)
+        execute_campaign(campaign, store=store, resume=False)  # duplicates every run
+        stats = store.compact()
+        assert stats["dropped"] == len(campaign)
+        assert stats["after"] == stats["before"] - stats["dropped"]
+        reloaded = RunStore(path)
+        assert len(reloaded) == len(campaign)
+        assert execute_campaign(campaign, store=reloaded).reused == len(campaign)
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        execute_campaign(_campaign(), store=store)
+        execute_campaign(_campaign(), store=store, resume=False)
+        first = store.compact()
+        second = store.compact()
+        assert second["dropped"] == 0
+        assert second["before"] == second["after"] == first["after"]
+
+    def test_compact_sharded_store_consolidates_to_one_shard(self, tmp_path):
+        store = RunStore(tmp_path / "store", shard_records=2, batch_size=2)
+        execute_campaign(_campaign(), store=store)
+        execute_campaign(_campaign(), store=store, resume=False)
+        shards_before = len(list((tmp_path / "store").glob("shard-*.jsonl")))
+        store.compact()
+        assert shards_before > 1
+        # One consolidated shard: the whole live set switches with one
+        # atomic rename before any stale shard is unlinked.
+        assert [p.name for p in (tmp_path / "store").glob("shard-*.jsonl")] == [
+            "shard-00000.jsonl"
+        ]
+        assert len(RunStore(tmp_path / "store")) == len(_campaign())
+        assert not list((tmp_path / "store").glob("*.tmp"))
+
+    def test_crash_between_compact_rename_and_unlink_loses_nothing(self, tmp_path):
+        """The documented crash window: new shard in place, stale shards left.
+
+        Stale shards only re-assert the newest value of keys they hold
+        (within-shard order is append order), so a load over the
+        half-finished layout must equal the fully compacted one.
+        """
+        store = RunStore(tmp_path / "store", shard_records=2, batch_size=2)
+        execute_campaign(_campaign(), store=store)
+        execute_campaign(_campaign(), store=store, resume=False)
+        store.close()
+        stale = sorted((tmp_path / "store").glob("shard-*.jsonl"))
+        saved = {p.name: p.read_bytes() for p in stale}
+        compacted = RunStore(tmp_path / "store", shard_records=2)
+        compacted.compact()
+        expected = {key: compacted.get_row(key) for key in compacted.run_keys()}
+        # Re-materialize the crash state: compacted shard-00000 plus the
+        # old stale shards that the interrupted unlink loop left behind.
+        for name, data in saved.items():
+            if name != "shard-00000.jsonl":
+                (tmp_path / "store" / name).write_bytes(data)
+        crashed = RunStore(tmp_path / "store")
+        assert len(crashed) == len(expected)
+        for key, row in expected.items():
+            assert crashed.get_row(key) == row
+
+    def test_store_keeps_appending_after_compact(self, tmp_path):
+        store = RunStore(tmp_path / "store", shard_records=2, batch_size=2)
+        half = Campaign("half", _campaign().specs[:2])
+        execute_campaign(half, store=store)
+        store.compact()
+        report = execute_campaign(_campaign(), store=store)
+        assert report.reused == 2
+        store.close()
+        assert len(RunStore(tmp_path / "store")) == len(_campaign())
+
+    def test_in_memory_compact_is_a_no_op(self):
+        assert RunStore(None).compact() == {"before": 0, "after": 0, "dropped": 0}
+
+
+class TestMerge:
+    def test_merge_combines_parallel_stores(self, tmp_path):
+        campaign = _campaign()
+        left, right = Campaign("l", campaign.specs[:2]), Campaign("r", campaign.specs[2:])
+        a, b = RunStore(tmp_path / "a.jsonl"), RunStore(tmp_path / "b")
+        execute_campaign(left, store=a)
+        execute_campaign(right, store=b)
+        a.close(), b.close()
+        merged = RunStore(tmp_path / "merged")
+        merged.merge_from(tmp_path / "a.jsonl")
+        merged.merge_from(tmp_path / "b")
+        merged.close()
+        # The merged store resumes the full campaign with zero work.
+        report = execute_campaign(campaign, store=RunStore(tmp_path / "merged"))
+        assert report.executed == 0
+        assert report.reused == len(campaign)
+
+    def test_merge_is_idempotent(self, tmp_path):
+        store = RunStore(tmp_path / "src.jsonl")
+        execute_campaign(_campaign(), store=store)
+        store.close()
+        destination = RunStore(tmp_path / "dest")
+        first = destination.merge_from(tmp_path / "src.jsonl")
+        second = destination.merge_from(tmp_path / "src.jsonl")
+        assert first["runs"] == len(_campaign())
+        assert second == {"runs": 0, "graphs": 0, "skipped": first["runs"] + first["graphs"]}
+
+    def test_merge_accepts_store_instances(self, tmp_path):
+        source = RunStore(tmp_path / "src.jsonl")
+        execute_campaign(_campaign(), store=source)
+        destination = RunStore(None)
+        stats = destination.merge_from(source)
+        assert stats["runs"] == len(_campaign())
+        assert destination.run_keys() == source.run_keys()
+
+    def test_merge_into_itself_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "store.jsonl")
+        store.record_graph("g", {"n": 1, "m": 0})
+        store.close()
+        with pytest.raises(ConfigurationError, match="itself"):
+            store.merge_from(tmp_path / "store.jsonl")
+
+    def test_merge_missing_source_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no run store"):
+            RunStore(None).merge_from(tmp_path / "nope.jsonl")
