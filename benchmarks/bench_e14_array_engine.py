@@ -1,0 +1,230 @@
+"""E14 (engineering): wall-clock throughput of the numpy array kernel.
+
+Like E11 this benchmark measures the simulator, not the paper: the
+``array`` engine (structure-of-arrays message columns, vectorized
+broadcasts, lazily materialized inboxes) must beat the ``fast`` engine
+on message-heavy workloads while reporting *identical* round / message /
+word counters.  Three workloads are timed:
+
+* a broadcast storm at three sizes (random regular graphs, every vertex
+  broadcasting to its whole neighbourhood every round) where receivers
+  consume inbox *sizes* -- the synchronizer / heartbeat pattern the
+  lazy-inbox design is built for.  This is the floored comparison: the
+  measured speedup must clear ``REPRO_E14_MIN_SPEEDUP`` (default 4x;
+  the 10x design target is met at the largest size on controlled
+  hardware) at every size;
+* the same storm where receivers *read every message*, which forces full
+  FastMessage materialization -- recorded, no floor, because this is
+  exactly the fast kernel's own per-message cost plus grouping;
+* the full paper algorithm (``compute_mst``) on an E4-style instance --
+  protocol rounds are small and point-send-heavy, so the array kernel
+  tracks the fast kernel rather than beating it; recorded for honesty.
+
+Engine construction (NodeState tables, CSR layout) happens outside the
+timed region: both kernels pay the same O(n + m) setup once per sweep
+cell, while the quantity optimized -- and measured here -- is the cost
+of simulated communication rounds.
+
+Set ``REPRO_E14_WRITE_JSON=path`` to also dump the measured rows as
+JSON (the checked-in ``BENCH_E14.json`` is produced this way).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from conftest import run_once
+
+from repro.config import RunConfig
+from repro.core.elkin_mst import compute_mst
+from repro.graphs import random_connected_graph
+from repro.graphs.generators import make_graph
+from repro.simulator.engine import create_engine
+
+#: (n, storm rounds) per size; degree keeps the storm message-heavy.
+SIZES = ((512, 20), (2048, 8), (8192, 3))
+DEGREE = 32
+REPETITIONS = 3
+#: Hard floor for the broadcast-storm speedup assertion at every size.
+#: Controlled hardware measures 5-10x (rising with n); shared CI
+#: runners can override downwards, the measured ratios are always
+#: recorded in extra_info either way.
+MIN_SPEEDUP = float(os.environ.get("REPRO_E14_MIN_SPEEDUP", "4.0"))
+
+
+def _storm(network, vertices, rounds, read_messages):
+    """Every vertex broadcasts one word to its whole neighbourhood."""
+    send_to_neighbors = network.send_to_neighbors
+    deliver_round = network.deliver_round
+    consumed = 0
+    for _ in range(rounds):
+        for vertex in vertices:
+            send_to_neighbors(vertex, "pulse", (), 1)
+        inboxes = deliver_round()
+        if read_messages:
+            for inbox in inboxes.values():
+                for message in inbox:
+                    consumed += message.words
+        else:
+            for inbox in inboxes.values():
+                consumed += len(inbox)
+    return network.total_cost(), consumed
+
+
+def _best_of(function, *args):
+    """Minimum wall-clock over REPETITIONS runs (and the last return value).
+
+    The collector is paused around each timed run, as in E11: under
+    pytest's large heap, GC pauses land arbitrarily in either engine's
+    run.  (This is conservative -- with the collector running the array
+    kernel's margin *grows*, because avoiding per-message allocation is
+    exactly what the structure-of-arrays layout buys.)
+    """
+    best = float("inf")
+    value = None
+    for _ in range(REPETITIONS):
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            value = function(*args)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return best, value
+
+
+def _timed_storm(graph, engine, rounds, read_messages):
+    """Best-of-REPETITIONS storm timing on a fresh, untimed engine per run."""
+    best = float("inf")
+    value = None
+    for _ in range(REPETITIONS):
+        network = create_engine(graph, bandwidth=1, validate=False, engine=engine)
+        vertices = list(network.vertices())
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            value = _storm(network, vertices, rounds, read_messages)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return best, value
+
+
+def test_e14_array_engine_throughput(benchmark, record):
+    graphs = {
+        n: make_graph("random_regular", n=n, degree=DEGREE, seed=1400)
+        for n, _ in SIZES
+    }
+    mst_graph = random_connected_graph(192, extra_edges=8 * 192, seed=1402)
+
+    def run():
+        rows = []
+        floored = []
+
+        for n, rounds in SIZES:
+            cell = {}
+            for engine in ("fast", "array"):
+                seconds, (cost, consumed) = _timed_storm(
+                    graphs[n], engine, rounds, read_messages=False
+                )
+                cell[engine] = (seconds, cost, consumed)
+                rows.append(
+                    {
+                        "workload": "storm (aggregate)",
+                        "n": n,
+                        "engine": engine,
+                        "seconds": round(seconds, 4),
+                        "rounds": cost.rounds,
+                        "messages": cost.messages,
+                        "words": cost.words,
+                    }
+                )
+            speedup = cell["fast"][0] / cell["array"][0]
+            floored.append((n, speedup))
+            for row in rows[-2:]:
+                row["speedup vs fast"] = round(speedup, 2)
+            # Byte-identical counters and identical consumer observations.
+            assert cell["fast"][1] == cell["array"][1]
+            assert cell["fast"][2] == cell["array"][2]
+
+        n, rounds = SIZES[1]
+        read = {}
+        for engine in ("fast", "array"):
+            seconds, (cost, consumed) = _timed_storm(
+                graphs[n], engine, rounds, read_messages=True
+            )
+            read[engine] = (seconds, cost, consumed)
+            rows.append(
+                {
+                    "workload": "storm (full read)",
+                    "n": n,
+                    "engine": engine,
+                    "seconds": round(seconds, 4),
+                    "rounds": cost.rounds,
+                    "messages": cost.messages,
+                    "words": cost.words,
+                }
+            )
+        read_speedup = read["fast"][0] / read["array"][0]
+        for row in rows[-2:]:
+            row["speedup vs fast"] = round(read_speedup, 2)
+        assert read["fast"][1] == read["array"][1]
+        assert read["fast"][2] == read["array"][2]
+
+        full = {}
+        for engine in ("fast", "array"):
+            seconds, result = _best_of(compute_mst, mst_graph, RunConfig(engine=engine))
+            full[engine] = (seconds, result)
+            rows.append(
+                {
+                    "workload": "compute_mst",
+                    "n": mst_graph.number_of_nodes(),
+                    "engine": engine,
+                    "seconds": round(seconds, 4),
+                    "rounds": result.rounds,
+                    "messages": result.messages,
+                    "words": result.cost.words,
+                }
+            )
+        full_speedup = full["fast"][0] / full["array"][0]
+        for row in rows[-2:]:
+            row["speedup vs fast"] = round(full_speedup, 2)
+        assert full["fast"][1].edges == full["array"][1].edges
+        assert full["fast"][1].cost == full["array"][1].cost
+
+        return rows, floored, read_speedup, full_speedup
+
+    rows, floored, read_speedup, full_speedup = run_once(benchmark, run)
+
+    for n, speedup in floored:
+        benchmark.extra_info[f"storm_speedup_n{n}"] = round(speedup, 3)
+    benchmark.extra_info["full_read_speedup"] = round(read_speedup, 3)
+    benchmark.extra_info["compute_mst_speedup"] = round(full_speedup, 3)
+    record("E14: array-engine throughput (array vs fast kernel)", rows)
+
+    json_path = os.environ.get("REPRO_E14_WRITE_JSON")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "experiment": "E14: array-engine throughput (array vs fast kernel)",
+                    "degree": DEGREE,
+                    "min_speedup_floor": MIN_SPEEDUP,
+                    "rows": rows,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+
+    for n, speedup in floored:
+        assert speedup >= MIN_SPEEDUP, (
+            f"storm speedup at n={n} is {speedup:.2f}x < {MIN_SPEEDUP}x"
+        )

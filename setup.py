@@ -1,16 +1,17 @@
 """Package metadata.
 
 ``pip install -e .`` installs the ``repro`` package from ``src/`` with
-its single runtime dependency; ``pip install -e .[dev]`` adds the test
-and benchmark toolchain (the tier-1 suite and ``benchmarks/`` need
-nothing else).
+its single runtime dependency; ``pip install -e .[fast]`` adds numpy,
+which unlocks the ``array`` simulation kernel; ``pip install -e
+.[dev]`` adds the test and benchmark toolchain (the tier-1 suite and
+``benchmarks/`` need nothing else).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-elkin-mst",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Reproduction of Elkin's deterministic distributed MST algorithm "
         "(PODC 2017) on a synchronous CONGEST(b log n) simulator"
@@ -24,6 +25,9 @@ setup(
         "networkx>=2.6",
     ],
     extras_require={
+        "fast": [
+            "numpy>=1.22",
+        ],
         "dev": [
             "pytest>=7",
             "hypothesis>=6",

@@ -11,10 +11,14 @@ which is what the benchmark output and EXPERIMENTS.md report.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
+try:  # numpy is the optional [fast] extra; fitting falls back without it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from ..exceptions import ReproError
 
@@ -44,15 +48,38 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
         raise ReproError("need at least two points to fit a power law")
     if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
         raise ReproError("power-law fitting requires strictly positive values")
-    log_x = np.log(np.asarray(xs, dtype=float))
-    log_y = np.log(np.asarray(ys, dtype=float))
-    design = np.vstack([log_x, np.ones_like(log_x)]).T
-    (slope, intercept), residuals, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
-    if residuals.size:
-        mse = float(residuals[0]) / len(xs)
-    else:
-        mse = float(np.mean((design @ np.array([slope, intercept]) - log_y) ** 2))
-    return PowerLawFit(exponent=float(slope), scale=float(np.exp(intercept)), residual=mse)
+    if np is not None:
+        log_x = np.log(np.asarray(xs, dtype=float))
+        log_y = np.log(np.asarray(ys, dtype=float))
+        design = np.vstack([log_x, np.ones_like(log_x)]).T
+        (slope, intercept), residuals, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+        if residuals.size:
+            mse = float(residuals[0]) / len(xs)
+        else:
+            mse = float(np.mean((design @ np.array([slope, intercept]) - log_y) ** 2))
+        return PowerLawFit(
+            exponent=float(slope), scale=float(np.exp(intercept)), residual=mse
+        )
+    # Pure-Python ordinary least squares (the closed form for one
+    # predictor plus intercept is mathematically the lstsq solution).
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    count = len(log_x)
+    mean_x = sum(log_x) / count
+    mean_y = sum(log_y) / count
+    variance = sum((lx - mean_x) ** 2 for lx in log_x)
+    if variance == 0:
+        raise ReproError("power-law fitting requires at least two distinct x values")
+    slope = sum(
+        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)
+    ) / variance
+    intercept = mean_y - slope * mean_x
+    mse = sum(
+        (slope * lx + intercept - ly) ** 2 for lx, ly in zip(log_x, log_y)
+    ) / count
+    return PowerLawFit(
+        exponent=slope, scale=math.exp(intercept), residual=mse
+    )
 
 
 def ratio_series(numerators: Sequence[float], denominators: Sequence[float]) -> list[float]:

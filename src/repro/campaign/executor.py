@@ -33,8 +33,15 @@ from ..analysis.experiments import run_single
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError
 from ..graphs.properties import hop_diameter
+from ..simulator.array_network import ArrayNetwork
 from ..simulator.engine import engine_provider, registered_factory
 from ..simulator.fast_network import BatchedEngine, FastNetwork
+
+#: Kernels the batch runner can vend arena lanes for, and the stock
+#: class each name must still resolve to for lanes to be safe (the
+#: "array" entry additionally requires numpy -- without it the name is
+#: simply not registered, so the identity check fails closed).
+_LANE_KERNELS = {"fast": FastNetwork, "array": ArrayNetwork}
 from .spec import Campaign, RunSpec
 from .store import GraphDescription, RunStore
 
@@ -133,9 +140,11 @@ class _BatchRunner:
     * every distinct *deterministic* graph of the pending cells is built
       exactly once and packed into one
       :class:`~repro.simulator.fast_network.BatchedEngine` arena;
-    * cells running on the stock ``"fast"`` kernel receive an arena lane
-      through the :func:`~repro.simulator.engine.engine_provider` seam
-      (byte-identical semantics; the lane *is* a ``FastNetwork``);
+    * cells running on the stock ``"fast"`` or ``"array"`` kernels
+      receive an arena lane through the
+      :func:`~repro.simulator.engine.engine_provider` seam
+      (byte-identical semantics; the lane *is* a ``FastNetwork`` /
+      ``ArrayNetwork``);
     * verification runs against one cached
       :class:`~repro.verify.mst_checks.MSTOracle` per graph instead of
       recomputing three reference MSTs per cell;
@@ -171,7 +180,7 @@ class _BatchRunner:
             graph_key = spec.graph_key()
             if spec.is_deterministic() and graph_key not in self._graphs:
                 self._graphs[graph_key] = spec.build_graph()
-            if spec.engine == "fast" and algorithm_info(spec.algorithm).is_distributed:
+            if spec.engine in _LANE_KERNELS and algorithm_info(spec.algorithm).is_distributed:
                 arena_keys.add(graph_key)
         self._arena = BatchedEngine(
             (
@@ -181,10 +190,16 @@ class _BatchRunner:
             ),
             validate=False,
         )
-        # Lanes replace create_engine("fast") calls; if a test or plugin
-        # re-registered the name with a different kernel, stand down and
-        # let every cell construct its engine normally.
-        self._lanes_enabled = registered_factory("fast") is FastNetwork
+        # Lanes replace create_engine("fast") / create_engine("array")
+        # calls; if a test or plugin re-registered a name with a
+        # different kernel (or numpy is absent, leaving "array"
+        # unregistered), stand down for that name and let its cells
+        # construct their engines normally.
+        self._lane_engines = {
+            name
+            for name, stock in _LANE_KERNELS.items()
+            if registered_factory(name) is stock
+        }
 
     def _provider(self, graph: nx.Graph):
         """An engine provider vending ``graph``'s arena lane exactly once.
@@ -198,13 +213,15 @@ class _BatchRunner:
 
         def provider(candidate: nx.Graph, bandwidth: int, engine_name: str):
             if (
-                engine_name != "fast"
+                engine_name not in self._lane_engines
                 or candidate is not graph
                 or id(candidate) in vended
                 or not self._arena.has_graph(candidate)
             ):
                 return None
             vended.add(id(candidate))
+            if engine_name == "array":
+                return self._arena.array_lane(candidate, bandwidth)
             return self._arena.lane(candidate, bandwidth)
 
         return provider
@@ -227,7 +244,7 @@ class _BatchRunner:
             description = _describe_graph(graph, self._compute_diameter)
             if deterministic:
                 self._descriptions[graph_key] = description
-        if self._lanes_enabled and spec.engine == "fast" and deterministic:
+        if spec.engine in self._lane_engines and deterministic:
             with engine_provider(self._provider(graph)):
                 result = self._simulate(graph, spec)
         else:

@@ -18,7 +18,8 @@ acceptance tests for the parallel executor.  ``zoo`` is the workload-zoo
 sweep: every registered graph family (core set plus the
 :mod:`repro.workloads` additions) under the paper's algorithm and a
 sequential differential reference, plus a denser differential-stress
-grid -- the preset the batched executor is sized against.
+grid -- the preset the batched executor is sized against.  ``zoo-large``
+is the n = 10^5 grid the numpy ``array`` kernel is sized against.
 """
 
 from __future__ import annotations
@@ -151,6 +152,29 @@ def _zoo() -> Campaign:
     return Campaign(name="zoo", specs=specs)
 
 
+def _zoo_large() -> Campaign:
+    """n = 10^5-scale instances on the array kernel (Theorem 3.1 regime).
+
+    The scale the paper's complexity statements are about: three
+    message-heavy low-diameter families at n = 10^5, run by the paper's
+    algorithm on the numpy kernel.  Verification is off (the sequential
+    oracle would dominate the sweep) and callers should pass
+    ``--no-diameter`` -- exact hop-diameter is O(n m) and these
+    instances are all D = O(log n) by construction.  The ``fast``
+    kernel can execute this grid too, just not interactively.
+    """
+    graphs = [
+        GraphSpec("random_connected", {"n": 100_000, "extra_edges": 400_000, "seed": 0}),
+        GraphSpec("random_regular", {"n": 100_000, "degree": 8, "seed": 0}),
+        GraphSpec("hypercube", {"dim": 16, "seed": 0}),
+    ]
+    specs = [
+        RunSpec(graph=graph, algorithm="elkin", engine="array", seed=0)
+        for graph in graphs
+    ]
+    return Campaign(name="zoo-large", specs=specs, verify=False)
+
+
 PRESETS: Dict[str, Callable[[], Campaign]] = {
     "e1-base-forest": _e1_base_forest,
     "e2-k-sweep": _e2_k_sweep,
@@ -163,6 +187,7 @@ PRESETS: Dict[str, Callable[[], Campaign]] = {
     "e9-vs-prs": _e9_vs_prs,
     "smoke": _smoke,
     "zoo": _zoo,
+    "zoo-large": _zoo_large,
 }
 
 

@@ -222,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
         f"{DEFAULT_ENGINE!r})",
     )
     campaign_parser.add_argument(
+        "--no-diameter",
+        action="store_true",
+        help="skip the hop-diameter (D) column of the instance "
+        "description; exact diameter is the one O(n m) description "
+        "field and dominates wall-clock at zoo-large scale",
+    )
+    campaign_parser.add_argument(
         "--durability",
         default="batch",
         choices=DURABILITY_LEVELS,
@@ -296,6 +303,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resume=args.resume,
         verify=not args.no_verify,
+        compute_diameter=not args.no_diameter,
         batch=args.batch,
     )
     print(format_table(report.rows))

@@ -13,9 +13,14 @@ ship with the package:
   explicit per-edge dictionaries);
 * ``"fast"`` -- :class:`~repro.simulator.fast_network.FastNetwork`, a
   batched kernel with dense vertex indexing, CSR-style adjacency, flat
-  per-edge bandwidth counters and bulk metric charging.
+  per-edge bandwidth counters and bulk metric charging;
+* ``"array"`` -- :class:`~repro.simulator.array_network.ArrayNetwork`,
+  a numpy structure-of-arrays kernel (CSR adjacency as arrays,
+  vectorized neighbourhood broadcasts, array-reduction accounting);
+  registered only when numpy is importable, otherwise selecting it
+  raises an actionable :class:`~repro.exceptions.ConfigurationError`.
 
-Both engines implement the same model, round for round and message for
+All engines implement the same model, round for round and message for
 message: switching engines changes wall-clock time only, never the
 reported complexity numbers (``tests/test_engine_equivalence.py``
 asserts this on a matrix of algorithms and graph families).
@@ -142,6 +147,34 @@ class Engine(abc.ABC):
         :class:`~repro.exceptions.BandwidthExceededError` otherwise).
         """
 
+    def send_to_neighbors(
+        self,
+        sender: VertexId,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+        words: int = 1,
+        exclude: Optional[VertexId] = None,
+    ) -> int:
+        """Queue one copy of a message to every neighbour of ``sender``.
+
+        Semantically exactly equivalent to calling :meth:`send` once per
+        neighbour of ``sender`` in sorted-neighbour order, skipping
+        ``exclude`` -- including the partial-commit behaviour on a
+        bandwidth violation (messages to earlier neighbours stay queued,
+        the offending send raises).  Engines with vectorized internals
+        override this with a bulk implementation; this default keeps the
+        reference semantics in exactly one obvious loop.  Returns the
+        number of messages queued.
+        """
+        send = self.send
+        count = 0
+        for neighbor in self.node(sender).neighbors:
+            if neighbor == exclude:
+                continue
+            send(sender, neighbor, kind, payload, words)
+            count += 1
+        return count
+
     @abc.abstractmethod
     def remaining_capacity(self, sender: VertexId, receiver: VertexId) -> int:
         """Words still available this round over the directed edge ``sender -> receiver``."""
@@ -181,6 +214,11 @@ EngineFactory = Callable[..., Engine]
 
 _REGISTRY: Dict[str, EngineFactory] = {}
 
+#: Engines that exist but cannot run in this environment (name -> why).
+#: Selecting one raises a :class:`ConfigurationError` carrying the
+#: recorded reason instead of the generic unknown-engine message.
+_UNAVAILABLE: Dict[str, str] = {}
+
 #: Name of the engine used when none is requested explicitly.
 DEFAULT_ENGINE = "reference"
 
@@ -193,11 +231,26 @@ def register_engine(name: str, factory: EngineFactory) -> None:
     """
     if not name or not isinstance(name, str):
         raise ConfigurationError(f"engine name must be a non-empty string, got {name!r}")
+    _UNAVAILABLE.pop(name, None)
     _REGISTRY[name] = factory
+
+
+def register_unavailable_engine(name: str, reason: str) -> None:
+    """Record that engine ``name`` exists but cannot run here.
+
+    Used by optional-dependency kernels (the ``array`` engine needs
+    numpy): the name stays out of :func:`available_engines`, and
+    selecting it raises an actionable error instead of "unknown engine".
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"engine name must be a non-empty string, got {name!r}")
+    _REGISTRY.pop(name, None)
+    _UNAVAILABLE[name] = reason
 
 
 def _ensure_builtin_engines() -> None:
     """Import the built-in kernels so they self-register (idempotent)."""
+    from . import array_network as _array_network  # noqa: F401
     from . import fast_network as _fast_network  # noqa: F401
     from . import network as _network  # noqa: F401
 
@@ -261,8 +314,8 @@ def create_engine(
         bandwidth: the ``b`` of CONGEST(b log n).
         validate: run input validation (disable in tight loops where the
             caller has already validated the graph).
-        engine: registered engine name (``"reference"`` or ``"fast"``
-            out of the box).
+        engine: registered engine name (``"reference"``, ``"fast"`` or
+            -- with numpy installed -- ``"array"`` out of the box).
 
     Raises:
         ConfigurationError: when ``engine`` is not a registered name.
@@ -276,6 +329,11 @@ def create_engine(
     try:
         factory = _REGISTRY[engine]
     except KeyError:
+        reason = _UNAVAILABLE.get(engine)
+        if reason is not None:
+            raise ConfigurationError(
+                f"engine {engine!r} is not available: {reason}"
+            ) from None
         raise ConfigurationError(
             f"unknown engine {engine!r}; available: {', '.join(sorted(_REGISTRY))}"
         ) from None

@@ -478,6 +478,13 @@ class BatchedEngine:
         self._nbr_weight: List[float] = []
         self._counters: Dict[int, List[int]] = {}
         self._lanes: Dict[Tuple[int, int], _ArenaLane] = {}
+        # Array-kernel lane state (allocated lazily on the first
+        # array_lane() call; see repro.simulator.array_network):
+        # per-bandwidth arena-wide numpy counter arrays and one shared
+        # triple of numeric message-column arrays that lanes slice.
+        self._array_lanes: Dict[Tuple[int, int], FastNetwork] = {}
+        self._array_counters: Dict[int, Any] = {}
+        self._array_columns: Any = None
         for graph in graphs:
             self.add_graph(graph, validate=validate)
 
@@ -561,5 +568,30 @@ class BatchedEngine:
                 self._counters[bandwidth] = counters
             lane = _ArenaLane(piece, bandwidth, counters, self)
             self._lanes[key] = lane
+        lane._reset()
+        return lane
+
+    def array_lane(self, graph: nx.Graph, bandwidth: int = 1):
+        """A fresh-state array-kernel engine for one scenario of the batch.
+
+        The numpy counterpart of :meth:`lane`: the vended engine is a
+        real :class:`~repro.simulator.array_network.ArrayNetwork` whose
+        bandwidth counters and numeric message columns are slices of
+        arena-wide arrays (disjoint per scenario, shared per batch).
+        Requires numpy; raises
+        :class:`~repro.exceptions.ConfigurationError` without it.
+        """
+        piece = self._pieces.get(id(graph))
+        if piece is None:
+            raise SimulationError(
+                "graph is not part of this batch; pack it with add_graph() first"
+            )
+        key = (id(graph), bandwidth)
+        lane = self._array_lanes.get(key)
+        if lane is None:
+            from .array_network import make_arena_lane
+
+            lane = make_arena_lane(self, piece, bandwidth)
+            self._array_lanes[key] = lane
         lane._reset()
         return lane

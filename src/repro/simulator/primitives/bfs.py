@@ -59,8 +59,7 @@ class _BFSProtocol(NodeProtocol):
             return
         self._parent[vertex] = None
         self._distance[vertex] = 0
-        for neighbor in node.neighbors:
-            api.send(vertex, neighbor, "explore", payload=(0,), words=1)
+        api.send_to_neighbors(vertex, "explore", payload=(0,), words=1)
         api.finish(vertex)
 
     def on_round(
@@ -76,9 +75,13 @@ class _BFSProtocol(NodeProtocol):
         chosen = min(explores, key=lambda message: message.sender)
         self._parent[vertex] = chosen.sender
         self._distance[vertex] = int(chosen.payload[0]) + 1
-        for neighbor in node.neighbors:
-            if neighbor != chosen.sender:
-                api.send(vertex, neighbor, "explore", payload=(self._distance[vertex],), words=1)
+        api.send_to_neighbors(
+            vertex,
+            "explore",
+            payload=(self._distance[vertex],),
+            words=1,
+            exclude=chosen.sender,
+        )
         api.finish(vertex)
 
     def result(self, network: Engine) -> BFSTree:

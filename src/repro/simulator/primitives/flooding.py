@@ -35,8 +35,7 @@ class _FloodProtocol(NodeProtocol):
         if vertex != self._source:
             return
         self._learned[vertex] = self._value
-        for neighbor in node.neighbors:
-            api.send(vertex, neighbor, "flood", payload=(self._value,), words=1)
+        api.send_to_neighbors(vertex, "flood", payload=(self._value,), words=1)
         api.finish(vertex)
 
     def on_round(
@@ -50,9 +49,9 @@ class _FloodProtocol(NodeProtocol):
             return
         origin = min(message.sender for message in flood_messages)
         self._learned[vertex] = flood_messages[0].payload[0]
-        for neighbor in node.neighbors:
-            if neighbor != origin:
-                api.send(vertex, neighbor, "flood", payload=(self._learned[vertex],), words=1)
+        api.send_to_neighbors(
+            vertex, "flood", payload=(self._learned[vertex],), words=1, exclude=origin
+        )
         api.finish(vertex)
 
     def result(self, network: Engine) -> Dict[VertexId, Any]:

@@ -32,8 +32,7 @@ class _NeighborExchangeProtocol(NodeProtocol):
         self._received: Dict[VertexId, Dict[VertexId, Any]] = {v: {} for v in self.participants}
 
     def on_start(self, vertex: VertexId, node: NodeState, api: ProtocolApi) -> None:
-        for neighbor in node.neighbors:
-            api.send(vertex, neighbor, "value", payload=(self._values[vertex],), words=1)
+        api.send_to_neighbors(vertex, "value", payload=(self._values[vertex],), words=1)
         api.finish(vertex)
 
     def on_round(

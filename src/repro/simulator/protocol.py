@@ -54,6 +54,25 @@ class ProtocolApi:
         """Send a message from ``sender`` to its neighbour ``receiver``."""
         self._network.send(sender, receiver, f"{self._protocol_name}:{kind}", payload, words)
 
+    def send_to_neighbors(
+        self,
+        sender: VertexId,
+        kind: str,
+        payload: Tuple[Any, ...] = (),
+        words: int = 1,
+        exclude: Optional[VertexId] = None,
+    ) -> int:
+        """Send one copy of a message to every neighbour of ``sender``.
+
+        Equivalent to calling :meth:`send` once per neighbour in
+        sorted-neighbour order (skipping ``exclude``), but the kind is
+        namespaced once and array-backed kernels broadcast with a single
+        vectorized scatter.  Returns the number of messages queued.
+        """
+        return self._network.send_to_neighbors(
+            sender, f"{self._protocol_name}:{kind}", payload, words, exclude
+        )
+
     def remaining_capacity(self, sender: VertexId, receiver: VertexId) -> int:
         """Words still available this round on the directed edge ``sender -> receiver``."""
         return self._network.remaining_capacity(sender, receiver)
@@ -149,21 +168,26 @@ def run_protocol(
     states = [(vertex, network.node(vertex)) for vertex in participants]
     finished = api._finished
     on_round = protocol.on_round
+    # Bound methods resolved once per protocol, not once per round: the
+    # attribute walks (instance dict / slots, then class) are pure
+    # overhead inside the hottest loop of every simulation.
+    deliver_round = network.deliver_round
+    pending_count = network.pending_count
 
     for vertex, node in states:
         protocol.on_start(vertex, node, api)
 
     rounds_used = 0
     while True:
-        if len(finished) == total and network.pending_count() == 0:
+        if len(finished) == total and pending_count() == 0:
             break
         if rounds_used >= limit:
             raise ConvergenceError(
                 f"protocol {protocol.name!r} did not terminate within {limit} rounds "
                 f"({api.finished_count()}/{len(protocol.participants)} vertices finished, "
-                f"{network.pending_count()} messages pending)"
+                f"{pending_count()} messages pending)"
             )
-        inboxes = network.deliver_round()
+        inboxes = deliver_round()
         rounds_used += 1
         get_inbox = inboxes.get
         for vertex, node in states:

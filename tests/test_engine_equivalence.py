@@ -1,12 +1,13 @@
-"""Cross-engine equivalence: the fast kernel must change wall-clock only.
+"""Cross-engine equivalence: the optimized kernels change wall-clock only.
 
-Every algorithm in the library is run twice on the same instance -- once
-on the reference kernel (``engine="reference"``) and once on the batched
-kernel (``engine="fast"``) -- and the two executions must agree exactly:
-identical MST edge sets, identical round counts, identical message and
-word counts, and (where the network is in hand) identical per-kind
-message histograms.  This is the contract that makes the fast kernel
-safe to use for the paper's complexity reproductions.
+Every algorithm in the library is run on the same instance once per
+engine -- the reference kernel (``engine="reference"``) against each
+optimized comparand (``engine="fast"``, and ``engine="array"`` when
+numpy is installed) -- and the executions must agree exactly: identical
+MST edge sets, identical round counts, identical message and word
+counts, and (where the network is in hand) identical per-kind message
+histograms.  This is the contract that makes the optimized kernels safe
+to use for the paper's complexity reproductions.
 """
 
 from __future__ import annotations
@@ -31,6 +32,16 @@ from repro.simulator.primitives.bfs import build_bfs_tree
 from repro.simulator.primitives.neighbor_exchange import neighbor_exchange
 from repro.types import normalize_edge
 
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+#: The optimized kernels compared against the reference execution.
+OTHER_ENGINES = ["fast"] + (["array"] if HAVE_NUMPY else [])
+
 #: Graph families the equivalence matrix covers (label -> builder).
 GRAPH_FAMILIES = {
     "random": lambda: random_connected_graph(40, extra_edges=60, seed=11),
@@ -54,35 +65,39 @@ def _mst_signature(result):
     )
 
 
+@pytest.mark.parametrize("other", OTHER_ENGINES)
 @pytest.mark.parametrize("family", FAMILIES)
-def test_elkin_identical_across_engines(family):
+def test_elkin_identical_across_engines(family, other):
     graph = GRAPH_FAMILIES[family]()
     reference = compute_mst(graph, RunConfig(engine="reference"))
-    fast = compute_mst(graph, RunConfig(engine="fast"))
+    fast = compute_mst(graph, RunConfig(engine=other))
     assert _mst_signature(reference) == _mst_signature(fast)
     assert reference.details["k"] == fast.details["k"]
     assert reference.details["boruvka_phase_count"] == fast.details["boruvka_phase_count"]
 
 
+@pytest.mark.parametrize("other", OTHER_ENGINES)
 @pytest.mark.parametrize("family", FAMILIES)
-def test_ghs_identical_across_engines(family):
+def test_ghs_identical_across_engines(family, other):
     graph = GRAPH_FAMILIES[family]()
     reference = ghs_style_mst(graph, RunConfig(engine="reference"))
-    fast = ghs_style_mst(graph, RunConfig(engine="fast"))
+    fast = ghs_style_mst(graph, RunConfig(engine=other))
     assert _mst_signature(reference) == _mst_signature(fast)
 
 
+@pytest.mark.parametrize("other", OTHER_ENGINES)
 @pytest.mark.parametrize("family", FAMILIES)
-def test_gkp_identical_across_engines(family):
+def test_gkp_identical_across_engines(family, other):
     graph = GRAPH_FAMILIES[family]()
     reference = gkp_mst(graph, RunConfig(engine="reference"))
-    fast = gkp_mst(graph, RunConfig(engine="fast"))
+    fast = gkp_mst(graph, RunConfig(engine=other))
     assert _mst_signature(reference) == _mst_signature(fast)
 
 
+@pytest.mark.parametrize("other", OTHER_ENGINES)
 @pytest.mark.parametrize("family", FAMILIES)
 @pytest.mark.parametrize("k", [2, 4, 8])
-def test_controlled_ghs_identical_across_engines(family, k):
+def test_controlled_ghs_identical_across_engines(family, k, other):
     graph = GRAPH_FAMILIES[family]()
 
     def run(engine):
@@ -95,7 +110,7 @@ def test_controlled_ghs_identical_across_engines(family, k):
             dict(network.metrics.messages_by_kind),
         )
 
-    assert run("reference") == run("fast")
+    assert run("reference") == run(other)
 
 
 def _run_pipeline(graph, engine):
@@ -134,24 +149,27 @@ def _run_pipeline(graph, engine):
     )
 
 
+@pytest.mark.parametrize("other", OTHER_ENGINES)
 @pytest.mark.parametrize("family", FAMILIES)
-def test_pipeline_identical_across_engines(family):
+def test_pipeline_identical_across_engines(family, other):
     graph = GRAPH_FAMILIES[family]()
-    assert _run_pipeline(graph, "reference") == _run_pipeline(graph, "fast")
+    assert _run_pipeline(graph, "reference") == _run_pipeline(graph, other)
 
 
+@pytest.mark.parametrize("other", OTHER_ENGINES)
 @pytest.mark.parametrize("bandwidth", [1, 2, 4])
-def test_elkin_identical_across_engines_under_bandwidth(bandwidth):
+def test_elkin_identical_across_engines_under_bandwidth(bandwidth, other):
     graph = random_connected_graph(48, extra_edges=96, seed=23)
     reference = compute_mst(graph, RunConfig(bandwidth=bandwidth, engine="reference"))
-    fast = compute_mst(graph, RunConfig(bandwidth=bandwidth, engine="fast"))
+    fast = compute_mst(graph, RunConfig(bandwidth=bandwidth, engine=other))
     assert _mst_signature(reference) == _mst_signature(fast)
 
 
-def test_prs_inherits_engine_from_config():
+@pytest.mark.parametrize("other", OTHER_ENGINES)
+def test_prs_inherits_engine_from_config(other):
     from repro.baselines.prs import prs_style_mst
 
     graph = random_connected_graph(36, extra_edges=40, seed=17)
     reference = prs_style_mst(graph, RunConfig(engine="reference"))
-    fast = prs_style_mst(graph, RunConfig(engine="fast"))
+    fast = prs_style_mst(graph, RunConfig(engine=other))
     assert _mst_signature(reference) == _mst_signature(fast)

@@ -1,4 +1,4 @@
-"""Kernel edge cases, parametrized over both simulation engines.
+"""Kernel edge cases, parametrized over every simulation engine.
 
 These pin down the corners of the :class:`~repro.simulator.engine.Engine`
 contract that the algorithm-level equivalence suite does not exercise:
@@ -22,7 +22,14 @@ from repro.simulator.engine import (
 from repro.simulator.fast_network import FastNetwork
 from repro.simulator.network import SyncNetwork
 
-ENGINES = ["reference", "fast"]
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+ENGINES = ["reference", "fast"] + (["array"] if HAVE_NUMPY else [])
 
 
 def make(engine, graph, bandwidth=1):
