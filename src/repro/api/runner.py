@@ -85,19 +85,22 @@ class Runner:
     def run_many(
         self, scenarios: Iterable[Scenario], jobs: int = 1, batch: Optional[bool] = None
     ) -> List[ScenarioOutcome]:
-        """Execute a batch of scenarios, on a pool or the batched path.
+        """Execute a batch of scenarios, batched and optionally parallel.
 
         Scenarios may disagree on their ``verify`` policy; the batch is
         partitioned into at most two campaigns (verified / unverified)
         and the outcomes are returned in input order either way.  With
-        ``jobs > 1`` rows are identical to the in-process ones -- the
-        pool only changes wall-clock time.  ``batch`` selects batched
-        in-process execution (graphs, oracles and engine state shared
+        ``jobs > 1`` rows are identical to the in-process ones -- more
+        processes only change wall-clock time.  ``batch`` selects
+        batched execution (graphs, oracles and engine state shared
         across cells through one
         :class:`~repro.simulator.fast_network.BatchedEngine` arena; rows
-        byte-identical to the per-cell path): ``None`` batches
-        automatically whenever ``jobs == 1``, ``False`` forces per-cell
-        execution, and ``True`` with ``jobs > 1`` is rejected.
+        byte-identical to the per-cell path): ``None`` (the default)
+        batches everywhere -- in-process at ``jobs == 1``, and through
+        the graph-affine scheduler of
+        :mod:`repro.campaign.scheduler` at ``jobs > 1``, where each
+        persistent worker batches the work units it leases.  ``False``
+        forces the per-cell paths (serial, or the legacy process pool).
         """
         scenarios = list(scenarios)
         for position, scenario in enumerate(scenarios):

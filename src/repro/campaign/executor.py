@@ -6,14 +6,20 @@ produce *row-for-row identical* output -- the mode only changes
 wall-clock time:
 
 * serial (``jobs=1, batch=False``): one cell at a time, in-process;
-* parallel (``jobs>1``): a process pool; graphs are constructed inside
-  the worker that runs the cell (specs are data, so nothing heavyweight
-  crosses process boundaries);
+* legacy pool (``jobs>1, batch=False``): a process pool created once
+  per campaign and shared by the describe and run passes; graphs are
+  constructed inside the worker that runs the cell (specs are data, so
+  nothing heavyweight crosses process boundaries);
 * batched (``jobs=1``, the default): the in-process
   :class:`_BatchRunner` packs every distinct deterministic graph of the
   sweep into one :class:`~repro.simulator.fast_network.BatchedEngine`
   arena, builds each graph and each verification oracle once instead of
-  once per cell, and steps through the cells re-using arena lanes.
+  once per cell, and steps through the cells re-using arena lanes;
+* batched-parallel (``jobs>1``, the default): the
+  :mod:`~repro.campaign.scheduler` leases graph-affine work units to
+  persistent worker processes, each running the batch runner locally
+  and committing to a worker-local shard store that is folded back
+  into the campaign store.
 
 Results are committed to the run store in deterministic campaign order,
 and instance descriptions (n, m, hop-diameter) are computed once per
@@ -316,20 +322,19 @@ def _run_worker(
     return index, row, result.to_json_dict(), used
 
 
-def _map_payloads(worker, payloads: Sequence[object], jobs: int) -> List[object]:
-    """Run ``worker`` over payloads, serially or on a process pool.
+def _map_payloads(worker, payloads: Sequence[object], jobs: int, pool=None) -> List[object]:
+    """Run ``worker`` over payloads, serially or on the campaign's pool.
 
+    The pool, when one is passed, was created once by
+    :func:`execute_campaign` and is shared by the describe and run
+    passes -- one worker lifecycle per campaign, not one per phase.
     ``chunksize=1`` keeps scheduling deterministic-agnostic: results are
     returned in payload order either way, so output never depends on
     which worker finished first.
     """
-    if jobs <= 1 or len(payloads) <= 1:
+    if pool is None or jobs <= 1 or len(payloads) <= 1:
         return [worker(payload) for payload in payloads]
-    methods = multiprocessing.get_all_start_methods()
-    method = "fork" if "fork" in methods else "spawn"
-    context = multiprocessing.get_context(method)
-    with context.Pool(processes=min(jobs, len(payloads))) as pool:
-        return pool.map(worker, payloads, chunksize=1)
+    return pool.map(worker, payloads, chunksize=1)
 
 
 def _notify(observers: Sequence[object], method: str, *args: object) -> None:
@@ -380,6 +385,11 @@ class CampaignReport:
         reused_indexes: campaign indexes of the cells answered from the
             store (sorted); ``reused == len(reused_indexes)``.
         store: the run store the campaign was executed against.
+        workers: persistent worker processes used by the batched-parallel
+            scheduler (``0`` for in-process and legacy pool execution).
+        worker_stats: one dict per scheduler worker -- ``worker``,
+            ``units`` and ``cells`` executed, ``busy_seconds``, and
+            ``utilization`` (busy time over campaign wall time).
     """
 
     campaign: Campaign
@@ -389,12 +399,21 @@ class CampaignReport:
     described: int = 0
     reused_indexes: List[int] = field(default_factory=list)
     store: Optional[RunStore] = None
+    workers: int = 0
+    worker_stats: List[Dict[str, object]] = field(default_factory=list)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"campaign {self.campaign.name!r}: {len(self.rows)} cells "
             f"({self.executed} executed, {self.reused} reused)"
         )
+        if self.workers:
+            utilization = ", ".join(
+                f"w{stat['worker']} {float(stat['utilization']):.0%}"
+                for stat in self.worker_stats
+            )
+            text += f" on {self.workers} workers ({utilization})"
+        return text
 
 
 def execute_campaign(
@@ -413,7 +432,7 @@ def execute_campaign(
         campaign: the grid to run.
         store: run store for persistence and resume; ``None`` uses a
             fresh in-memory store (everything is recomputed).
-        jobs: worker processes; ``1`` runs in-process.  The parallel
+        jobs: worker processes; ``1`` runs in-process.  Every parallel
             path produces rows identical to the in-process one.
         resume: when True (the default), cells whose run key is already
             in the store are *not* re-simulated; their stored rows are
@@ -425,27 +444,25 @@ def execute_campaign(
             descriptions (the one expensive description field).
         observers: lifecycle hooks (see
             :class:`repro.api.hooks.RunObserver`).  In-process execution
-            interleaves events with the cells; parallel execution fires
-            every ``on_run_start`` at dispatch time and the
-            ``on_phase`` / ``on_result`` events in campaign order once
-            the pool drains.  Resumed cells fire no events.
-        batch: batched in-process execution (see :class:`_BatchRunner`):
-            distinct graphs are built, described, packed into one
+            interleaves events with the cells; the batched-parallel
+            scheduler streams every event live, in completion order; the
+            legacy pool fires every ``on_run_start`` at dispatch time
+            and the ``on_phase`` / ``on_result`` events in campaign
+            order once the pool drains.  Resumed cells fire no events.
+        batch: batched execution (see :class:`_BatchRunner`): distinct
+            graphs are built, described, packed into one
             :class:`~repro.simulator.fast_network.BatchedEngine` arena
             and verified against one cached oracle each -- several times
             faster on many-small-cell sweeps, with rows byte-identical
-            to the per-cell path.  ``None`` (the default) chooses
-            batching automatically whenever execution is in-process
-            (``jobs=1``); ``False`` forces the per-cell path.  Batching
-            is in-process by construction, so ``batch=True`` with
-            ``jobs > 1`` is rejected.
+            to the per-cell path.  With ``jobs > 1`` batching composes
+            with multiprocessing: the :mod:`~repro.campaign.scheduler`
+            leases graph-affine work units to persistent workers, each
+            batching its units locally.  ``None`` (the default) batches
+            everywhere; ``False`` forces the per-cell paths (serial, or
+            the legacy process pool when ``jobs > 1``).
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    if batch and jobs > 1:
-        raise ConfigurationError(
-            f"batched execution is in-process; drop batch=True or use jobs=1, got jobs={jobs}"
-        )
     store = store if store is not None else RunStore(None)
     do_verify = campaign.verify if verify is None else verify
 
@@ -478,96 +495,145 @@ def execute_campaign(
         return cached is not None and (not compute_diameter or "D" in cached)
 
     # Pending cells run in-process (one at a time) unless a pool is both
-    # requested and worthwhile; in-process execution batches by default.
+    # requested and worthwhile; execution batches by default, composing
+    # with multiprocessing through the graph-affine scheduler.
     in_process = jobs <= 1 or len(pending) <= 1
     use_batch = in_process and batch is not False and bool(pending)
+    use_scheduler = not in_process and batch is not False
 
     described = 0
     descriptions: Dict[str, GraphDescription] = {}
+    describe_payloads: List[Tuple[str, Dict[str, object], bool]] = []
     if pending:
         groups: Dict[str, List[RunSpec]] = {}
         for _, spec, _ in pending:
             groups.setdefault(spec.graph_key(), []).append(spec)
-        describe_payloads = []
         for graph_key, members in groups.items():
             if not members[0].is_deterministic():
                 continue
             cached = store.graph_description(graph_key)
             if _usable(cached):
                 descriptions[graph_key] = cached
-            elif len(members) > 1 and not use_batch:
+            elif len(members) > 1 and not use_batch and not use_scheduler:
                 # Worth a dedicated pass: one description serves many
-                # cells.  The batch runner instead describes the graph
-                # it already built, so it never takes this pass.
+                # cells.  The batch runner -- in-process or inside a
+                # scheduler worker -- instead describes the graph it
+                # already built, so those paths never take this pass.
                 describe_payloads.append(
                     (graph_key, members[0].to_json_dict(), compute_diameter)
                 )
             # Single-cell graphs: the run worker describes the graph it
             # builds anyway; the result is recorded into the cache below.
-        for graph_key, description in _map_payloads(_describe_worker, describe_payloads, jobs):
-            store.record_graph(graph_key, description)
-            descriptions[graph_key] = description
-            described += 1
+
+    def _record_description(spec: RunSpec, used: GraphDescription) -> bool:
+        """Cache a description a run produced; True when it was news."""
+        graph_key = spec.graph_key()
+        if (
+            spec.is_deterministic()
+            and graph_key not in descriptions
+            and not _usable(store.graph_description(graph_key))
+        ):
+            store.record_graph(graph_key, used)
+            descriptions[graph_key] = used
+            return True
+        return False
 
     # Simulate the pending cells (graphs are built inside each worker).
     if use_batch:
         executor_name = "batched"
+    elif use_scheduler:
+        executor_name = f"batched-pool-{jobs}"
     else:
         executor_name = "serial" if jobs <= 1 else f"pool-{jobs}"
-    # The batch runner consumes specs directly; only the worker path
-    # needs the JSON form (it must cross a process boundary).
-    payloads = [
-        (
-            index,
-            None if use_batch else spec.to_json_dict(),
-            descriptions.get(spec.graph_key()),
-            do_verify,
-            compute_diameter,
-        )
-        for index, spec, _ in pending
-    ]
     fresh: Dict[int, Row] = {}
-    runner = _BatchRunner(pending, do_verify, compute_diameter) if use_batch else None
-    if in_process:
-        # Run inline below so observers see each cell's events as it runs.
-        outcomes: List[object] = [None] * len(payloads)
-    else:
-        for _, spec, _ in pending:
-            _notify(observers, "on_run_start", spec)
-        outcomes = _map_payloads(_run_worker, payloads, jobs)
+    workers = 0
+    worker_stats: List[Dict[str, object]] = []
+    pool = None
     try:
-        for (index, spec, _), payload, outcome in zip(pending, payloads, outcomes):
-            if in_process:
-                _notify(observers, "on_run_start", spec)
-                outcome = (
-                    runner.run(index, spec, payload[2])
-                    if runner is not None
-                    else _run_worker(payload)
+        if not in_process and not use_scheduler:
+            # One worker lifecycle per campaign: the legacy pool path
+            # shares this pool across the describe and run passes
+            # instead of spawning a throwaway pool for each phase.
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+            pool = multiprocessing.get_context(method).Pool(
+                processes=min(jobs, len(pending))
+            )
+        for graph_key, description in _map_payloads(
+            _describe_worker, describe_payloads, jobs, pool=pool
+        ):
+            store.record_graph(graph_key, description)
+            descriptions[graph_key] = description
+            described += 1
+        if use_scheduler:
+            from .scheduler import run_scheduled
+
+            fresh, described_in_units, workers, worker_stats = run_scheduled(
+                pending,
+                descriptions,
+                store,
+                jobs=jobs,
+                executor_name=executor_name,
+                do_verify=do_verify,
+                compute_diameter=compute_diameter,
+                observers=observers,
+                record_description=_record_description,
+            )
+            described += described_in_units
+        else:
+            # The batch runner consumes specs directly; only the worker
+            # path needs the JSON form (it crosses a process boundary).
+            payloads = [
+                (
+                    index,
+                    None if use_batch else spec.to_json_dict(),
+                    descriptions.get(spec.graph_key()),
+                    do_verify,
+                    compute_diameter,
                 )
-            out_index, row, result_json, used = outcome
-            assert index == out_index
-            graph_key = spec.graph_key()
-            if (
-                spec.is_deterministic()
-                and graph_key not in descriptions
-                and not _usable(store.graph_description(graph_key))
-            ):
-                store.record_graph(graph_key, used)
-                descriptions[graph_key] = used
-                described += 1
-            store.record_run(spec, row, result_json, _provenance(spec, executor_name, do_verify))
-            fresh[index] = row
-            if observers:
-                result = MSTRunResult.from_json_dict(result_json)
-                for phase in result.phases:
-                    _notify(observers, "on_phase", spec, phase)
-                _notify(observers, "on_result", spec, result, row)
+                for index, spec, _ in pending
+            ]
+            runner = (
+                _BatchRunner(pending, do_verify, compute_diameter) if use_batch else None
+            )
+            if in_process:
+                # Run inline below so observers see each cell's events live.
+                outcomes: List[object] = [None] * len(payloads)
+            else:
+                for _, spec, _ in pending:
+                    _notify(observers, "on_run_start", spec)
+                outcomes = _map_payloads(_run_worker, payloads, jobs, pool=pool)
+            for (index, spec, _), payload, outcome in zip(pending, payloads, outcomes):
+                if in_process:
+                    _notify(observers, "on_run_start", spec)
+                    outcome = (
+                        runner.run(index, spec, payload[2])
+                        if runner is not None
+                        else _run_worker(payload)
+                    )
+                out_index, row, result_json, used = outcome
+                assert index == out_index
+                if _record_description(spec, used):
+                    described += 1
+                store.record_run(
+                    spec, row, result_json, _provenance(spec, executor_name, do_verify)
+                )
+                fresh[index] = row
+                if observers:
+                    result = MSTRunResult.from_json_dict(result_json)
+                    for phase in result.phases:
+                        _notify(observers, "on_phase", spec, phase)
+                    _notify(observers, "on_result", spec, result, row)
     finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
         # Group-commit contract: whatever durability level the store
         # runs at, a campaign that returned has all of its records on
-        # disk -- and one that *raised* (verification failure, Ctrl-C)
-        # still persists every completed cell, exactly as the v1
-        # per-record store did, so --resume re-runs nothing finished.
+        # disk -- and one that *raised* (verification failure, Ctrl-C,
+        # a dead scheduler worker) still persists every completed cell,
+        # exactly as the v1 per-record store did, so --resume re-runs
+        # nothing finished.
         store.flush()
     rows = [
         fresh[index] if index in fresh else store.get_row(reused_keys[index])
@@ -581,4 +647,6 @@ def execute_campaign(
         described=described,
         reused_indexes=sorted(reused_keys),
         store=store,
+        workers=workers,
+        worker_stats=worker_stats,
     )

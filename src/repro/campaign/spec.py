@@ -40,8 +40,14 @@ def _canonical_json(payload: object) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def _content_hash(payload: object) -> str:
-    """16-hex-character content hash of a JSON-safe payload."""
+def content_hash(payload: object) -> str:
+    """16-hex-character content hash of a JSON-safe payload.
+
+    The identity function of the whole campaign layer: run keys, graph
+    keys and the scheduler's work-unit keys are all this hash over a
+    canonical JSON encoding, so identities agree across processes,
+    hosts and sessions.
+    """
     return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()[:16]
 
 
@@ -190,7 +196,7 @@ class RunSpec:
         """Content hash identifying this cell in the run store (cached)."""
         key = self.__dict__.get("_run_key_cache")
         if key is None:
-            key = _content_hash(self._identity())
+            key = content_hash(self._identity())
             object.__setattr__(self, "_run_key_cache", key)
         return key
 
@@ -199,7 +205,7 @@ class RunSpec:
         key = self.__dict__.get("_graph_key_cache")
         if key is None:
             spec = self.effective_graph_spec()
-            key = _content_hash({"family": spec.family, "params": spec.params})
+            key = content_hash({"family": spec.family, "params": spec.params})
             object.__setattr__(self, "_graph_key_cache", key)
         return key
 

@@ -16,7 +16,9 @@ the sequential oracles and print an ASCII table with the measured rounds
 and messages.  ``sweep`` executes a whole campaign grid (a named preset
 or a cross-product of the supplied axes) against a persistent JSONL run
 store with resume semantics -- batched in-process by default (see
-DESIGN.md, Section 10), on a worker pool with ``--jobs N``.
+DESIGN.md, Section 10); with ``--jobs N`` the batched-parallel
+scheduler leases graph-affine work units to N persistent workers, each
+batching locally (DESIGN.md, Section 13).
 
 Every subcommand is a thin shim over the scenario facade
 (:mod:`repro.api`): the CLI assembles :class:`~repro.api.Scenario`
@@ -177,7 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", nargs="+", type=int, default=[0], help="generator seeds of the grid"
     )
     campaign_parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process; N > 1 leases graph-affine "
+        "work units to N persistent workers, each batching locally)",
     )
     campaign_parser.add_argument(
         "--output",
@@ -201,15 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
         dest="batch",
         action="store_true",
         default=None,
-        help="force batched in-process execution (graphs, oracles and "
-        "engine state shared across cells; rows byte-identical to the "
-        "per-cell path); the default batches automatically when --jobs=1",
+        help="force batched execution (graphs, oracles and engine state "
+        "shared across cells; rows byte-identical to the per-cell path); "
+        "the default already batches everywhere, in-process or per worker",
     )
     batch_group.add_argument(
         "--no-batch",
         dest="batch",
         action="store_false",
-        help="force per-cell execution (disable batching)",
+        help="force per-cell execution (serial, or the legacy process "
+        "pool with --jobs N)",
     )
     # No default retarget: presets keep the engines they were designed
     # with (the zoo runs on the fast kernel) unless --engine is given.

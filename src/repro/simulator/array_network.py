@@ -20,6 +20,14 @@ plane around flat arrays instead of per-message Python objects:
   CSR receiver run into the message columns, and two C-level list slice
   assignments -- O(1) numpy calls per broadcast instead of O(degree)
   Python ``send`` frames;
+* single-target sends are *staged* in plain Python lists (three list
+  appends instead of three numpy scalar stores per message) and flushed
+  into the numpy columns with one vectorized slice assignment per
+  column -- at the next broadcast, to preserve global send order, or at
+  delivery; a round consisting only of point sends builds its inboxes
+  straight from the staged lists and never touches numpy at all, so
+  point-send-heavy protocol rounds pay the fast kernel's cost shape
+  rather than numpy's scalar-indexing overhead;
 * per-edge bandwidth accounting uses the same generation-stamped
   packing as the fast kernel (``generation * (bandwidth+1) + words``),
   held in one numpy array so a broadcast checks a whole neighbourhood
@@ -443,6 +451,11 @@ class ArrayNetwork(Engine):
         "_col_words",
         "_col_kind",
         "_col_payload",
+        "_pt_sender",
+        "_pt_receiver",
+        "_pt_words",
+        "_pt_kind",
+        "_pt_payload",
         "_cap",
         "_fill",
         "_round_value",
@@ -514,6 +527,19 @@ class ArrayNetwork(Engine):
             cap = len(self._col_sender)
         self._col_kind: List[Any] = [None] * cap
         self._col_payload: List[Any] = [None] * cap
+        # Point-send staging: single-target sends append to these plain
+        # Python lists (three list appends instead of three numpy scalar
+        # stores) and are flushed into the numpy columns in one
+        # vectorized slice assignment -- at the next whole-neighbourhood
+        # broadcast (so global send order is preserved) or at delivery.
+        # A round made up entirely of point sends never touches the
+        # numpy columns at all: its inboxes are built straight from the
+        # staged lists, exactly like the fast kernel.
+        self._pt_sender: List[int] = []
+        self._pt_receiver: List[int] = []
+        self._pt_words: List[int] = []
+        self._pt_kind: List[Any] = []
+        self._pt_payload: List[Any] = []
         self._cap = cap
         self._fill = 0
         self._round_value = 0
@@ -597,15 +623,11 @@ class ArrayNetwork(Engine):
             self._round_kind = kind
         elif round_kind is not False and round_kind != kind:
             self._round_kind = False
-        fill = self._fill
-        if fill >= self._cap:
-            self._grow(fill + 1)
-        self._col_sender[fill] = sender_index
-        self._col_receiver[fill] = receiver_index
-        self._col_words[fill] = words
-        self._col_kind[fill] = kind
-        self._col_payload[fill] = payload
-        self._fill = fill + 1
+        self._pt_sender.append(sender_index)
+        self._pt_receiver.append(receiver_index)
+        self._pt_words.append(words)
+        self._pt_kind.append(kind)
+        self._pt_payload.append(payload)
 
     def send_to_neighbors(
         self,
@@ -680,6 +702,10 @@ class ArrayNetwork(Engine):
             self._round_kind = kind
         elif round_kind is not False and round_kind != kind:
             self._round_kind = False
+        if self._pt_sender:
+            # Staged point sends precede this broadcast in global send
+            # order; commit them to the columns before the block write.
+            self._flush_staged()
         fill = self._fill
         need = fill + count
         if need > self._cap:
@@ -698,6 +724,33 @@ class ArrayNetwork(Engine):
         self._col_payload[fill:need] = [payload] * count
         self._fill = need
         return count
+
+    def _flush_staged(self) -> None:
+        """Commit staged point sends into the numpy message columns.
+
+        One vectorized slice assignment per column (numpy converts the
+        whole Python-int list at C speed) instead of one scalar store
+        per send; the staged run keeps its send order, so the columns
+        read exactly as if every ``send`` had written them directly.
+        """
+        staged = len(self._pt_sender)
+        if not staged:
+            return
+        fill = self._fill
+        need = fill + staged
+        if need > self._cap:
+            self._grow(need)
+        self._col_sender[fill:need] = self._pt_sender
+        self._col_receiver[fill:need] = self._pt_receiver
+        self._col_words[fill:need] = self._pt_words
+        self._col_kind[fill:need] = self._pt_kind
+        self._col_payload[fill:need] = self._pt_payload
+        self._fill = need
+        self._pt_sender.clear()
+        self._pt_receiver.clear()
+        self._pt_words.clear()
+        self._pt_kind.clear()
+        self._pt_payload.clear()
 
     def _grow(self, need: int) -> None:
         """Geometrically grow the message columns to hold ``need`` entries."""
@@ -723,7 +776,7 @@ class ArrayNetwork(Engine):
 
     def pending_count(self) -> int:
         """Number of messages queued for delivery in the next round."""
-        return self._fill
+        return self._fill + len(self._pt_sender)
 
     def deliver_round(self) -> Dict[VertexId, List[FastMessage]]:
         """Advance the clock by one round and deliver all queued messages.
@@ -739,14 +792,50 @@ class ArrayNetwork(Engine):
         self._round_value = metrics.rounds
         self._generation += 1
         self._gen_base = self._generation * self._band_span
-        fill = self._fill
-        if not fill:
+        staged = len(self._pt_sender)
+        if not self._fill and not staged:
             return {}
-        self._fill = 0
-        metrics.messages += fill
         round_kind = self._round_kind
         self._round_kind = None
         vertex_of = self._vertex_of
+        if not self._fill and staged <= _EAGER_DELIVERY_LIMIT:
+            # Pure point-send round: the staged Python lists already hold
+            # everything in send order, so the inboxes are built without
+            # touching numpy at all (the fast kernel's exact cost shape).
+            metrics.messages += staged
+            metrics.words += sum(self._pt_words)
+            if round_kind is False:
+                metrics.messages_by_kind.update(self._pt_kind)
+            else:
+                metrics.messages_by_kind[round_kind] += staged
+            inboxes: Dict[VertexId, List[FastMessage]] = {}
+            tuple_new = tuple.__new__
+            for s, r, k, p, w in zip(
+                self._pt_sender,
+                self._pt_receiver,
+                self._pt_kind,
+                self._pt_payload,
+                self._pt_words,
+            ):
+                receiver = vertex_of[r]
+                bucket = inboxes.get(receiver)
+                if bucket is None:
+                    inboxes[receiver] = bucket = []
+                bucket.append(
+                    tuple_new(
+                        FastMessage, (vertex_of[s], receiver, k, p, w, sent_round)
+                    )
+                )
+            self._pt_sender.clear()
+            self._pt_receiver.clear()
+            self._pt_words.clear()
+            self._pt_kind.clear()
+            self._pt_payload.clear()
+            return inboxes
+        self._flush_staged()
+        fill = self._fill
+        self._fill = 0
+        metrics.messages += fill
         if fill <= _EAGER_DELIVERY_LIMIT:
             # Small round: the columns are consumed into message tuples
             # right here, so no snapshot of any buffer is needed.
@@ -801,7 +890,7 @@ class ArrayNetwork(Engine):
         """Advance the clock by ``count`` silent rounds (no messages)."""
         if count < 0:
             raise SimulationError(f"cannot advance the clock by {count} rounds")
-        if self._fill:
+        if self._fill or self._pt_sender:
             raise SimulationError("cannot declare idle rounds while messages are pending")
         for _ in range(count):
             self.metrics.record_round()
@@ -855,6 +944,11 @@ class _ArrayArenaLane(ArrayNetwork):
         self._gen_base = self._generation * self._band_span
         self._fill = 0
         self._round_kind = None
+        self._pt_sender.clear()
+        self._pt_receiver.clear()
+        self._pt_words.clear()
+        self._pt_kind.clear()
+        self._pt_payload.clear()
         for node in self._nodes.values():
             node.memory.clear()
 

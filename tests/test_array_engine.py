@@ -176,12 +176,51 @@ class TestKernelInternals:
     def test_message_columns_grow_geometrically(self):
         network = ArrayNetwork(path_graph(3, seed=0), bandwidth=64)
         start_cap = network._cap
-        for i in range(start_cap + 5):
+        count = 2 * start_cap + 5
+        for i in range(count):
             network.send(0, 1, "burst", payload=(i,))
-        assert network._cap >= start_cap + 5
+        # Point sends are staged in Python lists; the columns only grow
+        # when the staged run is flushed (here: at delivery, since the
+        # round exceeds the eager limit).
+        assert network.pending_count() == count
+        assert network._cap == start_cap
         inboxes = network.deliver_round()
-        assert [m.payload[0] for m in inboxes[1]] == list(range(start_cap + 5))
-        assert network.metrics.messages == start_cap + 5
+        assert network._cap >= count
+        assert [m.payload[0] for m in inboxes[1]] == list(range(count))
+        assert network.metrics.messages == count
+
+    def test_pure_point_send_round_never_materializes_columns(self):
+        network = ArrayNetwork(path_graph(4, seed=0), bandwidth=4)
+        network.send(0, 1, "ping", payload=("a",))
+        network.send(2, 1, "ping", payload=("b",))
+        network.send(3, 2, "pong")
+        assert network.pending_count() == 3
+        assert network._fill == 0  # staged, not written to the columns
+        inboxes = network.deliver_round()
+        assert [m.payload for m in inboxes[1]] == [("a",), ("b",)]
+        assert list(inboxes) == [1, 2]  # first-message receiver order
+        assert network.metrics.words == 3
+        assert network.pending_count() == 0
+
+    def test_broadcast_flushes_staged_point_sends_in_order(self):
+        graph = star_graph(8, seed=1)
+        network = ArrayNetwork(graph, bandwidth=2)
+        network.send(1, 0, "early")
+        network.send_to_neighbors(0, "blast")  # flushes the staged send first
+        network.send(2, 0, "late")
+        inboxes = network.deliver_round()
+        kinds = [m.kind for m in inboxes[0]]
+        assert kinds == ["early", "late"]
+        assert all(m.kind == "blast" for v, inbox in inboxes.items() if v != 0 for m in inbox)
+        # Global send order: the hub's broadcast lands between the two
+        # point sends at every receiver that sees both.
+        assert network.metrics.messages == 2 + network.node(0).degree()
+
+    def test_idle_rounds_reject_staged_point_sends(self):
+        network = ArrayNetwork(path_graph(3, seed=0))
+        network.send(0, 1, "pending")
+        with pytest.raises(SimulationError, match="pending"):
+            network.idle_rounds(1)
 
     def test_generation_stamping_resets_bandwidth_without_clearing(self):
         network = ArrayNetwork(path_graph(3, seed=0), bandwidth=2)

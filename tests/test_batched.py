@@ -12,17 +12,19 @@ re-vends, and bandwidth enforcement.
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
 from repro.algorithms import run_algorithm
 from repro.campaign import Campaign, RunStore, execute_campaign
+from repro.campaign.scheduler import partition_units
 from repro.campaign.spec import graph_spec_for
 from repro.config import RunConfig
 from repro.core.elkin_mst import compute_mst
 from repro.exceptions import (
     BandwidthExceededError,
-    ConfigurationError,
     SimulationError,
     VerificationError,
 )
@@ -96,10 +98,6 @@ class TestBatchedEquivalence:
         assert provenance["executor"] == "batched"
         explicit = execute_campaign(campaign, batch=False)
         assert report.rows == explicit.rows
-
-    def test_batch_with_pool_rejected(self):
-        with pytest.raises(ConfigurationError, match="in-process"):
-            execute_campaign(_sixteen_cell_grid(), jobs=2, batch=True)
 
     def test_parallel_rows_match_batched_rows(self):
         campaign = _sixteen_cell_grid()
@@ -177,6 +175,230 @@ class TestBatchedEquivalence:
             assert report.executed == 1
         finally:
             register_engine("fast", FastNetwork)
+
+
+class TestScheduledEquivalence:
+    """``jobs>1 x batch``: the graph-affine scheduler joins the matrix.
+
+    Same contract as in-process batching, one axis further out: rows,
+    per-key store records and resume behaviour must be byte-identical
+    to the serial executor, whichever mix of batching and processes
+    produced them.  (Store *insertion order* is the one legitimate
+    difference: shards merge in worker order, not campaign order.)
+    """
+
+    def _store_records(self, store, campaign):
+        return {
+            key: (
+                json.dumps(store.get_row(key), sort_keys=True),
+                json.dumps(store.get_result(key).to_json_dict(), sort_keys=True),
+                store.get_spec(key),
+            )
+            for key in campaign.run_keys()
+        }
+
+    def test_scheduled_rows_and_store_records_byte_identical(self, tmp_path):
+        campaign = _sixteen_cell_grid()
+        assert len(campaign) == 16
+        serial_store = RunStore(tmp_path / "serial.jsonl")
+        sched_store = RunStore(tmp_path / "sched.jsonl")
+        serial = execute_campaign(campaign, store=serial_store, batch=False)
+        scheduled = execute_campaign(campaign, store=sched_store, jobs=2, batch=True)
+
+        assert serial.rows == scheduled.rows
+        assert sorted(serial_store.run_keys()) == sorted(sched_store.run_keys())
+        assert self._store_records(serial_store, campaign) == self._store_records(
+            sched_store, campaign
+        )
+
+    def test_parallel_batching_is_the_default_and_tagged(self, tmp_path):
+        campaign = _sixteen_cell_grid()
+        report = execute_campaign(campaign, store=RunStore(tmp_path / "s.jsonl"), jobs=2)
+        provenance = report.store.get_provenance(campaign.specs[0].run_key())
+        assert provenance["executor"] == "batched-pool-2"
+        assert report.workers == 2
+        assert sum(stat["cells"] for stat in report.worker_stats) == report.executed
+        assert "workers" in report.summary()
+        legacy = execute_campaign(campaign, jobs=2, batch=False)
+        assert legacy.workers == 0
+        assert report.rows == legacy.rows
+
+    def test_resume_across_scheduled_and_serial(self, tmp_path):
+        campaign = _sixteen_cell_grid()
+        # Serial records satisfy a scheduled resume...
+        serial_path = tmp_path / "serial.jsonl"
+        first = execute_campaign(campaign, store=RunStore(serial_path), batch=False)
+        resumed = execute_campaign(campaign, store=RunStore(serial_path), jobs=2)
+        assert resumed.executed == 0
+        assert resumed.reused == 16
+        assert resumed.rows == first.rows
+        # ... and scheduled records satisfy serial and batched resumes.
+        sched_path = tmp_path / "sched.jsonl"
+        second = execute_campaign(campaign, store=RunStore(sched_path), jobs=2)
+        for kwargs in ({"batch": False}, {"batch": True}, {"jobs": 3}):
+            reresumed = execute_campaign(campaign, store=RunStore(sched_path), **kwargs)
+            assert reresumed.executed == 0
+            assert reresumed.rows == second.rows
+
+    def test_scheduler_streams_observer_events(self):
+        campaign = _sixteen_cell_grid()
+        events = []
+
+        class Recorder:
+            def on_run_start(self, spec):
+                events.append(("start", spec.run_key()))
+
+            def on_phase(self, spec, phase):
+                events.append(("phase", spec.run_key()))
+
+            def on_result(self, spec, result, row):
+                events.append(("result", spec.run_key()))
+
+        report = execute_campaign(campaign, jobs=2, observers=[Recorder()])
+        starts = [key for kind, key in events if kind == "start"]
+        results = [key for kind, key in events if kind == "result"]
+        assert sorted(starts) == sorted(results) == sorted(campaign.run_keys())
+        assert report.executed == 16
+        assert any(kind == "phase" for kind, _ in events)
+
+    def test_scheduled_verification_failure_propagates(self):
+        from repro.algorithms import AlgorithmInfo, register_algorithm, _REGISTRY
+
+        def broken(graph, config=None):
+            result = run_algorithm(graph, "kruskal", config)
+            result.edges = set(list(result.edges)[:-1])
+            result.algorithm = "broken"
+            return result
+
+        register_algorithm(
+            AlgorithmInfo(
+                name="broken",
+                runner=broken,
+                family="sequential-baseline",
+                is_distributed=False,
+            )
+        )
+        try:
+            campaign = Campaign.from_grid(
+                "broken-par",
+                [graph_spec_for("random_connected", 16)],
+                algorithms=("broken", "kruskal"),
+                seeds=(0, 1),
+            )
+            with pytest.raises(VerificationError):
+                execute_campaign(campaign, jobs=2)
+        finally:
+            _REGISTRY.pop("broken", None)
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="the crash is injected through an env var inherited via fork",
+    )
+    def test_worker_death_keeps_committed_leases_and_resume_completes(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill one worker mid-campaign: the fold must stay consistent.
+
+        The kamikaze algorithm hard-exits the worker whose lease covers
+        the 20-vertex graph group; graph-affinity puts that whole group
+        in one unit, so the other group's lease commits normally.  The
+        campaign raises, the merged store holds exactly a subset of the
+        serial records, and a resume finishes the rest.
+        """
+        from repro.algorithms import AlgorithmInfo, register_algorithm, _REGISTRY
+
+        def kamikaze(graph, config=None):
+            if (
+                os.environ.get("REPRO_TEST_KAMIKAZE") == "1"
+                and graph.number_of_nodes() == 20
+            ):
+                os._exit(3)
+            return run_algorithm(graph, "kruskal", config)
+
+        register_algorithm(
+            AlgorithmInfo(
+                name="kamikaze",
+                runner=kamikaze,
+                family="sequential-baseline",
+                is_distributed=False,
+            )
+        )
+        try:
+            campaign = Campaign.from_grid(
+                "kamikaze",
+                [
+                    graph_spec_for("random_connected", 16),
+                    graph_spec_for("random_connected", 20),
+                ],
+                algorithms=("kamikaze",),
+                seeds=(0, 1, 2),
+            )
+            store_path = tmp_path / "kamikaze.jsonl"
+            monkeypatch.setenv("REPRO_TEST_KAMIKAZE", "1")
+            with pytest.raises(SimulationError, match="died with exit code 3"):
+                execute_campaign(campaign, store=RunStore(store_path), jobs=2)
+
+            # Whatever leases committed before the crash merged cleanly:
+            # every surviving record is byte-identical to serial output.
+            monkeypatch.delenv("REPRO_TEST_KAMIKAZE")
+            reference = execute_campaign(
+                campaign, store=RunStore(tmp_path / "ref.jsonl"), batch=False
+            )
+            survivor = RunStore(store_path)
+            campaign_keys = set(campaign.run_keys())
+            assert set(survivor.run_keys()) < campaign_keys
+            for key in survivor.run_keys():
+                assert json.dumps(survivor.get_row(key), sort_keys=True) == json.dumps(
+                    reference.store.get_row(key), sort_keys=True
+                )
+
+            # Resume completes exactly the missing cells, byte-identically.
+            resumed = execute_campaign(campaign, store=survivor, jobs=2)
+            assert resumed.executed == len(campaign) - resumed.reused
+            assert resumed.rows == reference.rows
+        finally:
+            _REGISTRY.pop("kamikaze", None)
+
+
+class TestWorkUnits:
+    def test_units_are_graph_affine_and_cover_everything(self):
+        campaign = _sixteen_cell_grid()
+        pending = [
+            (index, spec, spec.run_key()) for index, spec in enumerate(campaign.specs)
+        ]
+        units = partition_units(pending, {}, jobs=2)
+        unit_of_graph = {}
+        seen = []
+        for unit_index, unit in enumerate(units):
+            for index, spec_json, _ in unit.cells:
+                seen.append(index)
+                graph_key = campaign.specs[index].graph_key()
+                unit_of_graph.setdefault(graph_key, unit_index)
+                # A graph group is never split across units.
+                assert unit_of_graph[graph_key] == unit_index
+        assert sorted(seen) == list(range(len(campaign)))
+
+    def test_partition_is_deterministic(self):
+        campaign = _sixteen_cell_grid()
+        pending = [
+            (index, spec, spec.run_key()) for index, spec in enumerate(campaign.specs)
+        ]
+        first = partition_units(pending, {}, jobs=3)
+        second = partition_units(pending, {}, jobs=3)
+        assert [unit.unit_key for unit in first] == [unit.unit_key for unit in second]
+
+    def test_unit_cells_cap_is_respected_per_group(self):
+        campaign = _sixteen_cell_grid()
+        pending = [
+            (index, spec, spec.run_key()) for index, spec in enumerate(campaign.specs)
+        ]
+        units = partition_units(pending, {}, jobs=2, unit_cells=4)
+        # The seed axis is part of the graph identity, so the grid has
+        # four graph groups of 4 cells; at 4 cells per unit each group
+        # fills exactly one unit.
+        assert [len(unit.cells) for unit in units] == [4, 4, 4, 4]
+        merged = partition_units(pending, {}, jobs=2, unit_cells=8)
+        assert [len(unit.cells) for unit in merged] == [8, 8]
 
 
 class TestBatchedEngineLanes:

@@ -165,6 +165,42 @@ def test_elkin_identical_across_engines_under_bandwidth(bandwidth, other):
     assert _mst_signature(reference) == _mst_signature(fast)
 
 
+def _point_send_storm(graph, engine_name):
+    """A protocol round mix dominated by single-target sends.
+
+    Exercises the point-send path (staged in Python lists on the array
+    kernel) interleaved with whole-neighbourhood broadcasts across
+    several rounds, reading every delivered message: the trace below
+    must not depend on the engine.
+    """
+    network = create_engine(graph, bandwidth=2, engine=engine_name)
+    vertices = sorted(network.vertices())
+    trace = []
+    for round_index in range(4):
+        for vertex in vertices:
+            neighbors = network.node(vertex).neighbors
+            target = neighbors[round_index % len(neighbors)]
+            network.send(vertex, target, "probe", payload=(vertex, round_index))
+        if round_index % 2:
+            # Every other round mixes a broadcast in, so staged point
+            # sends must flush ahead of it in global send order.
+            network.send_to_neighbors(vertices[0], "blast", words=1)
+        inboxes = network.deliver_round()
+        for receiver in inboxes:
+            for message in inboxes[receiver]:
+                trace.append(
+                    (receiver, message.sender, message.kind, message.payload, message.words)
+                )
+    return trace, network.metrics.rounds, network.metrics.messages, network.metrics.words
+
+
+@pytest.mark.parametrize("other", OTHER_ENGINES)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_point_send_storm_identical_across_engines(family, other):
+    graph = GRAPH_FAMILIES[family]()
+    assert _point_send_storm(graph, "reference") == _point_send_storm(graph, other)
+
+
 @pytest.mark.parametrize("other", OTHER_ENGINES)
 def test_prs_inherits_engine_from_config(other):
     from repro.baselines.prs import prs_style_mst
