@@ -34,10 +34,17 @@ from .baselines.kruskal import kruskal_mst
 from .baselines.prim import prim_dense_mst, prim_mst
 from .baselines.prs import prs_style_mst
 from .baselines.sequential import sequential_runner
+from .conditions.proxy import condition_scope
 from .config import RunConfig
 from .core.elkin_mst import compute_mst
 from .core.results import MSTRunResult
-from .exceptions import ConfigurationError
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    FragmentError,
+    NonTerminationError,
+    ProtocolError,
+)
 
 #: The runner contract every registered algorithm implements.
 AlgorithmRunner = Callable[[nx.Graph, Optional[RunConfig]], MSTRunResult]
@@ -134,7 +141,62 @@ def run_algorithm(
     """
     info = algorithm_info(algorithm)
     config = config if config is not None else RunConfig()
-    result = info.runner(graph, config)
+    condition = config.condition
+    if condition is None or not info.is_distributed:
+        # Sequential references never build an engine, so there is no
+        # network for a condition to act on; they stay the free oracle
+        # for whatever the conditioned distributed run produces.
+        result = info.runner(graph, config)
+    else:
+        with condition_scope(condition, run_seed=config.seed) as scope:
+            try:
+                result = info.runner(graph, config)
+            except NonTerminationError as error:
+                telemetry = scope.telemetry()
+                error.condition_telemetry = telemetry
+                if error.rounds is None:
+                    cost = scope.cost()
+                    error.rounds = cost.rounds
+                    error.messages = cost.messages
+                    error.words = cost.words
+                raise
+            except ConvergenceError as error:
+                # Under injected faults a blown protocol round limit is
+                # an expected outcome (e.g. a crash-stop schedule), not
+                # a protocol bug: surface it as the typed condition
+                # result with the cap and partial costs recorded.
+                cost = scope.cost()
+                converted = NonTerminationError(
+                    f"run under condition {condition.label()!r} did not "
+                    f"terminate: {error}",
+                    round_cap=getattr(error, "rounds_limit", 0) or None,
+                    rounds=cost.rounds,
+                    messages=cost.messages,
+                    words=cost.words,
+                )
+                converted.condition_telemetry = scope.telemetry()
+                raise converted from error
+            except (FragmentError, ProtocolError) as error:
+                # Crash omission windows legitimately break protocol
+                # invariants (a crashed vertex's fragment never learns
+                # its outgoing edge, so merging stalls in an
+                # inconsistent state).  Only an active crash model gets
+                # this conversion: under loss/delay/adversary -- which
+                # preserve eventual delivery -- such errors still mean a
+                # protocol bug and propagate unchanged.
+                if condition.crash is None:
+                    raise
+                cost = scope.cost()
+                converted = NonTerminationError(
+                    f"run under condition {condition.label()!r} cannot "
+                    f"terminate (crash-induced {type(error).__name__}): {error}",
+                    rounds=cost.rounds,
+                    messages=cost.messages,
+                    words=cost.words,
+                )
+                converted.condition_telemetry = scope.telemetry()
+                raise converted from error
+        result.details["condition"] = scope.telemetry()
     if config.seed is not None:
         result.details.setdefault("seed", config.seed)
     return result

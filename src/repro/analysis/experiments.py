@@ -48,14 +48,17 @@ def run_single(
     seed: Optional[int] = None,
     collect_telemetry: bool = True,
     strict_bounds: bool = False,
+    condition: Optional[object] = None,
 ) -> MSTRunResult:
     """Run one MST algorithm on ``graph`` and (optionally) verify it.
 
     This is the bottom of every execution path: the campaign executor
     drives each cell through this function, and the :mod:`repro.api`
     facade routes through the campaign executor.  ``seed`` (provenance
-    of the generator that produced ``graph``), ``collect_telemetry`` and
-    ``strict_bounds`` are threaded into the
+    of the generator that produced ``graph``), ``collect_telemetry``,
+    ``strict_bounds`` and ``condition`` (a
+    :class:`~repro.conditions.NetworkCondition` or anything
+    ``normalize_condition`` accepts) are threaded into the
     :class:`~repro.config.RunConfig` verbatim; a provided seed is
     recorded in ``result.details`` by the registry dispatch, so it is
     captured whether it arrives via this argument or via a caller-built
@@ -68,6 +71,7 @@ def run_single(
         seed=seed,
         collect_telemetry=collect_telemetry,
         strict_bounds=strict_bounds,
+        condition=condition,
     )
     result = run_algorithm(graph, algorithm, config)
     # Workload-zoo instances that plant a known MST (see

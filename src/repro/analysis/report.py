@@ -89,6 +89,14 @@ class CampaignAnalysis:
     bound_skipped: int = 0
     #: E9 head-to-head rows: one per instance both elkin and prs ran on.
     crossover: List[Dict[str, object]] = field(default_factory=list)
+    #: Degradation table: one row per conditioned cell, paired with its
+    #: fault-free baseline when the sweep ran one on the same instance.
+    degradation: List[Dict[str, object]] = field(default_factory=list)
+    #: Rows executed under an injected network condition.  They are
+    #: excluded from the scaling fits and the theorem-bound audit (the
+    #: bounds assume a reliable synchronous network), so the audit can
+    #: never flag fault-model artifacts as violations.
+    conditioned: int = 0
 
     @property
     def bound_violations(self) -> int:
@@ -190,6 +198,79 @@ def _audit_elkin_row(row: Row) -> Tuple[List[BoundViolation], bool]:
     return violations, round_checked
 
 
+def _degradation_rows(rows: Sequence[Row]) -> List[Dict[str, object]]:
+    """Pair every conditioned row with its fault-free baseline.
+
+    Baselines are keyed by the full cell identity minus the condition
+    (graph, algorithm, bandwidth, engine, seed), so a ``conditions=(None,
+    "lossy", ...)`` sweep pairs each faulty cell with the clean run of
+    the *same* instance.  Factors are measured/baseline; non-terminated
+    cells report the rounds they burned before the cap with no factor
+    (there is nothing meaningful to normalize).
+    """
+    baselines: Dict[Tuple[object, ...], Row] = {}
+    for row in rows:
+        if row.get("condition") is None:
+            key = (
+                row.get("graph"),
+                row.get("algorithm"),
+                row.get("bandwidth"),
+                row.get("engine"),
+                row.get("seed"),
+            )
+            baselines[key] = row
+    table: List[Dict[str, object]] = []
+    for row in rows:
+        condition = row.get("condition")
+        if condition is None:
+            continue
+        baseline = baselines.get(
+            (
+                row.get("graph"),
+                row.get("algorithm"),
+                row.get("bandwidth"),
+                row.get("engine"),
+                row.get("seed"),
+            )
+        )
+        status = str(row.get("status", "ok"))
+        entry: Dict[str, object] = {
+            "condition": condition,
+            "graph": row.get("graph"),
+            "algorithm": row.get("algorithm"),
+            "status": status,
+            "rounds": row.get("rounds"),
+            "messages": row.get("messages"),
+            "dropped": row.get("dropped", 0),
+            "retransmits": row.get("retransmits", 0),
+        }
+        if baseline is not None and status == "ok":
+            base_rounds = float(baseline.get("rounds", 0) or 0)
+            base_messages = float(baseline.get("messages", 0) or 0)
+            entry["round_factor"] = (
+                round(float(row.get("rounds", 0) or 0) / base_rounds, 3)
+                if base_rounds
+                else "-"
+            )
+            entry["message_factor"] = (
+                round(float(row.get("messages", 0) or 0) / base_messages, 3)
+                if base_messages
+                else "-"
+            )
+        else:
+            entry["round_factor"] = "-"
+            entry["message_factor"] = "-"
+        table.append(entry)
+    table.sort(
+        key=lambda entry: (
+            str(entry["condition"]),
+            str(entry["algorithm"]),
+            str(entry["graph"]),
+        )
+    )
+    return table
+
+
 def _crossover_rows(rows: Sequence[Row]) -> List[Dict[str, object]]:
     """E9 head-to-head: message counts of elkin vs prs on shared instances."""
     # Keyed by the full cell identity minus the algorithm: a custom row
@@ -233,8 +314,14 @@ def analyze_rows(rows: Iterable[Row]) -> CampaignAnalysis:
     for row in analysis.rows:
         analysis.families.setdefault(family_of(row), []).append(row)
 
+    # Conditioned rows measure degradation, not the theorems: the fits
+    # and the bound audit run on the fault-free rows only, so injected
+    # faults can never surface as false bound-violation flags.
+    clean_rows = [row for row in analysis.rows if row.get("condition") is None]
+    analysis.conditioned = len(analysis.rows) - len(clean_rows)
+
     by_algorithm: Dict[str, List[Dict[str, object]]] = {}
-    for row in analysis.rows:
+    for row in clean_rows:
         by_algorithm.setdefault(str(row.get("algorithm", "?")), []).append(row)
     for algorithm in sorted(by_algorithm):
         algorithm_rows = by_algorithm[algorithm]
@@ -252,7 +339,10 @@ def analyze_rows(rows: Iterable[Row]) -> CampaignAnalysis:
         if not round_checked:
             analysis.bound_skipped += 1
 
-    analysis.crossover = _crossover_rows(analysis.rows)
+    # The E9 pairing key does not include the condition, so it also
+    # runs on the fault-free rows only.
+    analysis.crossover = _crossover_rows(clean_rows)
+    analysis.degradation = _degradation_rows(analysis.rows)
     return analysis
 
 
@@ -314,6 +404,11 @@ def render_markdown(analysis: CampaignAnalysis, title: str = "EXPERIMENTS") -> s
             f", {analysis.bound_skipped} round-bound unauditable (no D recorded)"
             if analysis.bound_skipped
             else ""
+        )
+        + (
+            f" ({analysis.conditioned} conditioned rows excluded from the audit)"
+            if analysis.conditioned
+            else ""
         ),
         "",
         "## Scaling fits",
@@ -356,6 +451,25 @@ def render_markdown(analysis: CampaignAnalysis, title: str = "EXPERIMENTS") -> s
                 )
             )
         )
+    if analysis.degradation:
+        non_terminated = sum(
+            1 for entry in analysis.degradation if entry["status"] != "ok"
+        )
+        lines += [
+            "",
+            "## Degradation under network conditions",
+            "",
+            "Rounds and messages relative to the fault-free baseline of the "
+            "same instance (`round_factor` / `message_factor`; `-` means no "
+            "baseline cell in this sweep or a non-terminated run).  These "
+            "rows are excluded from the theorem-bound audit above: the "
+            "bounds assume a reliable synchronous network.",
+            "",
+            f"- conditioned cells: {len(analysis.degradation)} "
+            f"({non_terminated} non-terminated)",
+            "",
+            *_code_block(format_table(analysis.degradation)),
+        ]
     if analysis.crossover:
         lines += [
             "",

@@ -149,6 +149,7 @@ class Scenario:
             collect_telemetry=config.collect_telemetry,
             strict_bounds=config.strict_bounds,
             label=self.label,
+            condition=config.condition,
         )
 
     def key(self) -> str:
@@ -180,6 +181,7 @@ class Scenario:
                 collect_telemetry=spec.collect_telemetry,
                 strict_bounds=spec.strict_bounds,
                 seed=spec.seed,
+                condition=spec.condition,
             ),
             verify=verify,
             label=spec.label,

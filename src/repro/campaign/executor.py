@@ -37,7 +37,8 @@ import networkx as nx
 from ..analysis.bounds import elkin_message_bound_formula, elkin_time_bound_formula
 from ..analysis.experiments import run_single
 from ..core.results import MSTRunResult
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, NonTerminationError
+from ..types import CostReport
 from ..graphs.properties import hop_diameter
 from ..simulator.array_network import ArrayNetwork
 from ..simulator.engine import engine_provider, registered_factory
@@ -75,7 +76,11 @@ def _build_row(spec: RunSpec, description: GraphDescription, result: MSTRunResul
 
     The column set is a superset of what the legacy experiment runners
     produced, adding ``engine`` and ``seed`` for provenance and the
-    theorem-bound ratio columns for the paper's algorithm.
+    theorem-bound ratio columns for the paper's algorithm.  Conditioned
+    cells additionally carry the condition label/key, a ``status``
+    column (``"ok"`` / ``"non-terminated"``) and the observed-fault
+    telemetry; unconditioned rows keep the exact pre-existing column
+    set, so old stores and row hashes stay comparable.
     """
     row: Row = {"graph": spec.display_label()}
     row.update(description)
@@ -91,10 +96,34 @@ def _build_row(spec: RunSpec, description: GraphDescription, result: MSTRunResul
             "weight": round(result.total_weight, 6),
         }
     )
-    if spec.algorithm == "elkin":
+    condition = spec.condition
+    non_terminated = bool(result.details.get("non_terminated"))
+    if condition is not None:
+        telemetry = result.details.get("condition") or {}
+        row.update(
+            {
+                "condition": condition.label(),
+                "condition_key": condition.key(),
+                "status": "non-terminated" if non_terminated else "ok",
+                "dropped": telemetry.get("dropped", 0),
+                "delayed": telemetry.get("delayed", 0),
+                "retransmits": telemetry.get("retransmits", 0),
+                "crash_omissions": telemetry.get("crash_omissions", 0),
+            }
+        )
+        if non_terminated:
+            row["round_cap"] = result.details.get("round_cap")
+    if spec.algorithm == "elkin" and not non_terminated:
         diameter = int(row.get("D", result.details.get("bfs_depth", 0)))
-        time_bound = elkin_time_bound_formula(result.n, diameter, spec.bandwidth)
-        message_bound = elkin_message_bound_formula(result.n, result.m)
+        # Degradation mode: a conditioned run is audited against the
+        # condition-stretched bounds (see verify.complexity_checks), so
+        # the ratio columns never flag fault-model artifacts.
+        time_stretch = 1.0 if condition is None else condition.time_stretch()
+        message_stretch = 1.0 if condition is None else condition.message_stretch()
+        time_bound = (
+            elkin_time_bound_formula(result.n, diameter, spec.bandwidth) * time_stretch
+        )
+        message_bound = elkin_message_bound_formula(result.n, result.m) * message_stretch
         row.update(
             {
                 "round_bound": round(time_bound),
@@ -104,6 +133,37 @@ def _build_row(spec: RunSpec, description: GraphDescription, result: MSTRunResul
             }
         )
     return row
+
+
+def _non_terminated_result(
+    spec: RunSpec, graph: nx.Graph, error: NonTerminationError
+) -> MSTRunResult:
+    """Synthetic result recording a condition-induced non-termination.
+
+    The cell produced no tree; the row still needs to exist (with the
+    round cap and partial costs) so sweeps over crash schedules resume
+    and report deterministically instead of hanging or dying.
+    """
+    return MSTRunResult(
+        algorithm=spec.algorithm,
+        edges=set(),
+        total_weight=0.0,
+        cost=CostReport(
+            rounds=error.rounds or 0,
+            messages=error.messages or 0,
+            words=error.words or 0,
+        ),
+        n=graph.number_of_nodes(),
+        m=graph.number_of_edges(),
+        bandwidth=spec.bandwidth,
+        details={
+            "non_terminated": True,
+            "round_cap": error.round_cap,
+            "condition": getattr(error, "condition_telemetry", None),
+            "error": str(error),
+            **({} if spec.seed is None else {"seed": spec.seed}),
+        },
+    )
 
 
 def run_spec(
@@ -122,17 +182,23 @@ def run_spec(
     graph = spec.build_graph()
     if description is None:
         description = _describe_graph(graph, compute_diameter)
-    result = run_single(
-        graph,
-        algorithm=spec.algorithm,
-        bandwidth=spec.bandwidth,
-        verify=verify,
-        base_forest_k=spec.base_forest_k,
-        engine=spec.engine,
-        seed=spec.seed,
-        collect_telemetry=spec.collect_telemetry,
-        strict_bounds=spec.strict_bounds,
-    )
+    try:
+        result = run_single(
+            graph,
+            algorithm=spec.algorithm,
+            bandwidth=spec.bandwidth,
+            verify=verify,
+            base_forest_k=spec.base_forest_k,
+            engine=spec.engine,
+            seed=spec.seed,
+            collect_telemetry=spec.collect_telemetry,
+            strict_bounds=spec.strict_bounds,
+            condition=spec.condition,
+        )
+    except NonTerminationError as error:
+        if spec.condition is None:
+            raise
+        result = _non_terminated_result(spec, graph, error)
     return _build_row(spec, description, result), result
 
 
@@ -250,12 +316,17 @@ class _BatchRunner:
             description = _describe_graph(graph, self._compute_diameter)
             if deterministic:
                 self._descriptions[graph_key] = description
-        if spec.engine in self._lane_engines and deterministic:
-            with engine_provider(self._provider(graph)):
+        try:
+            if spec.engine in self._lane_engines and deterministic:
+                with engine_provider(self._provider(graph)):
+                    result = self._simulate(graph, spec)
+            else:
                 result = self._simulate(graph, spec)
-        else:
-            result = self._simulate(graph, spec)
-        if self._do_verify:
+        except NonTerminationError as error:
+            if spec.condition is None:
+                raise
+            result = _non_terminated_result(spec, graph, error)
+        if self._do_verify and not result.details.get("non_terminated"):
             oracle = self._oracles.get(graph_key) if deterministic else None
             if oracle is None:
                 from ..verify.mst_checks import MSTOracle
@@ -296,6 +367,7 @@ class _BatchRunner:
             seed=spec.seed,
             collect_telemetry=spec.collect_telemetry,
             strict_bounds=spec.strict_bounds,
+            condition=spec.condition,
         )
 
 

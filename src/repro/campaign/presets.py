@@ -175,6 +175,34 @@ def _zoo_large() -> Campaign:
     return Campaign(name="zoo-large", specs=specs, verify=False)
 
 
+def _zoo_faulty() -> Campaign:
+    """The network-conditions sweep: algorithm x graph x condition.
+
+    Three small zoo graphs, the paper's algorithm and the GHS baseline,
+    each under the clean network plus three condition presets.  The
+    ``lossy`` and ``delayed`` cells terminate and must pass the full
+    oracle panel (eventual delivery preserves correctness); the
+    ``crash-stop`` cells exercise the typed
+    :class:`~repro.exceptions.NonTerminationError` path and produce
+    ``status = "non-terminated"`` rows.  Every cell is deterministic
+    (pinned seeds, counter-hashed fault fates), so two runs of this
+    preset -- at any jobs count -- are byte-identical.
+    """
+    graphs = [
+        graph_spec_for("random_connected", 24),
+        graph_spec_for("grid", 16),
+        graph_spec_for("cycle", 20),
+    ]
+    return Campaign.from_grid(
+        "zoo-faulty",
+        graphs,
+        algorithms=("elkin", "ghs"),
+        engines=("fast",),
+        seeds=(0,),
+        conditions=(None, "lossy", "delayed", "crash-stop"),
+    )
+
+
 PRESETS: Dict[str, Callable[[], Campaign]] = {
     "e1-base-forest": _e1_base_forest,
     "e2-k-sweep": _e2_k_sweep,
@@ -187,6 +215,7 @@ PRESETS: Dict[str, Callable[[], Campaign]] = {
     "e9-vs-prs": _e9_vs_prs,
     "smoke": _smoke,
     "zoo": _zoo,
+    "zoo-faulty": _zoo_faulty,
     "zoo-large": _zoo_large,
 }
 

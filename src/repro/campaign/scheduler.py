@@ -45,7 +45,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.results import MSTRunResult
-from ..exceptions import SimulationError
+from ..exceptions import ConfigurationError, SimulationError
 from .spec import RunSpec, content_hash
 from .store import GraphDescription, RunStore
 
@@ -216,8 +216,19 @@ def run_scheduled(
     genuinely lost.
     """
     from .executor import _notify
+    from ..simulator.engine import active_provider_count
 
     methods = multiprocessing.get_all_start_methods()
+    if active_provider_count() and "fork" not in methods:
+        # Spawned workers start from a fresh interpreter: a caller's
+        # engine_provider (a live closure) cannot cross that boundary,
+        # so cells would silently run on different engines than the
+        # parent process intended.  Fail loudly instead.
+        raise ConfigurationError(
+            f"{active_provider_count()} engine provider(s) are installed but this "
+            "platform cannot fork worker processes; providers do not survive "
+            "spawn -- run with jobs=1 (or batch=False) inside engine_provider"
+        )
     context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     units = partition_units(pending, descriptions, jobs)
     worker_count = min(jobs, len(units))

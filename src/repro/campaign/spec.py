@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import networkx as nx
 
+from ..conditions.spec import NetworkCondition, normalize_condition
 from ..exceptions import ConfigurationError
 from ..graphs.generators import (
     FAMILIES,
@@ -117,6 +118,11 @@ class RunSpec:
         label: presentation-only row label.  Deliberately *excluded*
             from the content hash: relabeling a sweep must not invalidate
             its completed cells in the run store.
+        condition: optional :class:`~repro.conditions.NetworkCondition`
+            applied to the cell (preset names / clause strings / JSON
+            dicts are normalized at construction).  ``None`` -- the
+            default, and the only value existing stores contain --
+            leaves the content hash unchanged.
     """
 
     graph: GraphSpec
@@ -128,6 +134,7 @@ class RunSpec:
     collect_telemetry: bool = True
     strict_bounds: bool = False
     label: Optional[str] = None
+    condition: Optional[NetworkCondition] = None
 
     def __post_init__(self) -> None:
         if self.graph.family == "edge_list" and self.seed is not None:
@@ -135,6 +142,8 @@ class RunSpec:
                 "the seed axis does not apply to edge_list graphs (the instance "
                 "is fixed by its edges); drop the seed or use a generator family"
             )
+        if self.condition is not None and not isinstance(self.condition, NetworkCondition):
+            object.__setattr__(self, "condition", normalize_condition(self.condition))
 
     def is_deterministic(self) -> bool:
         """True when building this spec twice yields the identical instance.
@@ -188,6 +197,8 @@ class RunSpec:
                 cached["collect_telemetry"] = False
             if self.strict_bounds:
                 cached["strict_bounds"] = True
+            if self.condition is not None:
+                cached["condition"] = self.condition.identity()
             object.__setattr__(self, "_identity_cache", cached)
         # Shallow copy: to_json_dict decorates the top level in place.
         return dict(cached)
@@ -213,6 +224,9 @@ class RunSpec:
         payload = self._identity()
         payload["graph"] = {"family": self.graph.family, "params": self.graph.params}
         payload["label"] = self.label
+        if self.condition is not None:
+            # Full form (identity() drops presentation fields like name).
+            payload["condition"] = self.condition.to_json_dict()
         return payload
 
     @classmethod
@@ -232,6 +246,7 @@ class RunSpec:
             collect_telemetry=bool(payload.get("collect_telemetry", True)),
             strict_bounds=bool(payload.get("strict_bounds", False)),
             label=payload.get("label"),
+            condition=normalize_condition(payload.get("condition")),
         )
 
 
@@ -253,14 +268,15 @@ class Campaign:
         engines: Iterable[str] = (DEFAULT_ENGINE,),
         seeds: Iterable[Optional[int]] = (None,),
         k_overrides: Iterable[Optional[int]] = (None,),
+        conditions: Iterable[Optional[object]] = (None,),
         labels: Optional[Sequence[Optional[str]]] = None,
         verify: bool = True,
     ) -> "Campaign":
         """Materialize the cross-product of the supplied axes.
 
         The expansion order is deterministic (graph-major, then
-        algorithm, bandwidth, engine, seed, k-override) so two
-        expansions of the same grid always agree cell for cell.
+        algorithm, bandwidth, engine, seed, k-override, condition) so
+        two expansions of the same grid always agree cell for cell.
         """
         if labels is not None and len(labels) != len(graphs):
             raise ConfigurationError(
@@ -275,9 +291,18 @@ class Campaign:
                 seed=seed,
                 base_forest_k=k_override,
                 label=labels[index] if labels is not None else None,
+                condition=normalize_condition(condition),
             )
-            for (index, graph), algorithm, bandwidth, engine, seed, k_override in itertools.product(
-                enumerate(graphs), algorithms, bandwidths, engines, seeds, k_overrides
+            for (
+                (index, graph),
+                algorithm,
+                bandwidth,
+                engine,
+                seed,
+                k_override,
+                condition,
+            ) in itertools.product(
+                enumerate(graphs), algorithms, bandwidths, engines, seeds, k_overrides, conditions
             )
         ]
         return cls(name=name, specs=specs, verify=verify)
@@ -293,6 +318,15 @@ class Campaign:
         return Campaign(
             name=self.name,
             specs=[replace(spec, engine=engine) for spec in self.specs],
+            verify=self.verify,
+        )
+
+    def with_condition(self, condition: Optional[object]) -> "Campaign":
+        """A copy of the campaign with every cell run under ``condition``."""
+        normalized = normalize_condition(condition)
+        return Campaign(
+            name=self.name,
+            specs=[replace(spec, condition=normalized) for spec in self.specs],
             verify=self.verify,
         )
 

@@ -74,6 +74,19 @@ def _engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _condition_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--condition",
+        default=None,
+        metavar="SPEC",
+        help="network condition: a preset name (see repro.conditions."
+        "available_conditions: lossy, flaky, delayed, jittery, heavy-delay, "
+        "crash-stop, crash-restart) or '+'-separated clauses such as "
+        "'loss(rate=0.1,retransmit=4)+delay(max=2)+seed=7' "
+        "(see DESIGN.md, Section 14)",
+    )
+
+
 def _graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--family",
@@ -123,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--bandwidth", type=int, default=1, help="CONGEST(b log n) bandwidth")
     _engine_argument(run_parser)
+    _condition_argument(run_parser)
+
+    subparsers.add_parser(
+        "engines",
+        help="list simulation kernels: registered engines plus unavailable "
+        "ones with the reason they cannot be used",
+    )
 
     compare_parser = subparsers.add_parser("compare", help="compare algorithms on one graph")
     _graph_arguments(compare_parser)
@@ -178,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--seeds", nargs="+", type=int, default=[0], help="generator seeds of the grid"
     )
+    _condition_argument(campaign_parser)
     campaign_parser.add_argument(
         "--jobs",
         type=int,
@@ -303,6 +324,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
             engines=(args.engine or DEFAULT_ENGINE,),
             seeds=tuple(args.seeds),
         )
+    if args.condition is not None:
+        campaign = campaign.with_condition(args.condition)
     store = RunStore(args.output, durability=args.durability) if args.output else None
     report = execute_campaign(
         campaign,
@@ -319,6 +342,23 @@ def _run_sweep(args: argparse.Namespace) -> int:
         store.close()
         summary += f" -> {args.output}"
     print(summary)
+    return 0
+
+
+def _run_engines(args: argparse.Namespace) -> int:
+    """Handle the ``engines`` subcommand."""
+    from .simulator.engine import unavailable_engines
+
+    rows = [
+        {"engine": name, "status": "available", "note": "-"}
+        for name in available_engines()
+    ]
+    rows += [
+        {"engine": name, "status": "unavailable", "note": reason}
+        for name, reason in sorted(unavailable_engines().items())
+    ]
+    print(format_table(rows))
+    print(f"default engine: {DEFAULT_ENGINE}")
     return 0
 
 
@@ -370,6 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "engines":
+        return _run_engines(args)
     if args.command == "report":
         return _run_report(args)
     if args.command == "store":
@@ -385,12 +427,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenario = Scenario(
             graph=graph,
             algorithm=args.algorithm,
-            config=RunConfig(bandwidth=args.bandwidth, engine=args.engine),
+            config=RunConfig(
+                bandwidth=args.bandwidth, engine=args.engine, condition=args.condition
+            ),
         )
         # The hop-diameter was already printed from graph_summary above.
         result = Runner(compute_diameter=False).run(scenario).result
         print(format_table([result.summary_row()]))
         print(f"MST weight: {result.total_weight:.3f} ({result.edge_count} edges, verified)")
+        telemetry = result.details.get("condition")
+        if telemetry:
+            print(
+                f"condition {telemetry.get('condition')}: "
+                f"{telemetry.get('dropped', 0)} dropped, "
+                f"{telemetry.get('delayed', 0)} delayed, "
+                f"{telemetry.get('retransmits', 0)} retransmits, "
+                f"{telemetry.get('crash_omissions', 0)} crash omissions"
+            )
     elif args.command == "compare":
         rows = compare_algorithms(
             graph, algorithms=args.algorithms, label=args.family, engine=args.engine

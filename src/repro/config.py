@@ -10,8 +10,9 @@ them so that examples, tests and benchmarks construct runs uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
+from .conditions.spec import NetworkCondition, normalize_condition
 from .exceptions import ConfigurationError
 from .simulator.engine import DEFAULT_ENGINE
 
@@ -45,6 +46,12 @@ class RunConfig:
             executor thread it here and also record it in
             ``result.details`` / output rows so it survives
             serialization into the run store.
+        condition: optional :class:`~repro.conditions.NetworkCondition`
+            (or preset name / clause string / JSON dict -- anything
+            :func:`~repro.conditions.normalize_condition` accepts)
+            applied to the run by wrapping the engine in a
+            condition-applying proxy.  ``None`` (the default) keeps the
+            perfectly synchronous, perfectly reliable CONGEST model.
     """
 
     bandwidth: int = 1
@@ -53,6 +60,7 @@ class RunConfig:
     collect_telemetry: bool = True
     strict_bounds: bool = False
     seed: Optional[int] = None
+    condition: Optional[Union[NetworkCondition, str, dict]] = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -66,6 +74,17 @@ class RunConfig:
             raise ConfigurationError(
                 f"engine must be a non-empty engine name, got {self.engine!r}"
             )
+        if self.seed is not None:
+            if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+                raise ConfigurationError(
+                    f"seed must be a non-negative int when given, "
+                    f"got {type(self.seed).__name__}: {self.seed!r}"
+                )
+            if self.seed < 0:
+                raise ConfigurationError(
+                    f"seed must be a non-negative int when given, got {self.seed}"
+                )
+        self.condition = normalize_condition(self.condition)
 
 
 def normalize_config(config: Optional[RunConfig]) -> RunConfig:

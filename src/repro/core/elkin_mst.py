@@ -238,5 +238,5 @@ def compute_mst(
     if config.strict_bounds:
         from ..verify.complexity_checks import assert_elkin_bounds
 
-        assert_elkin_bounds(result)
+        assert_elkin_bounds(result, condition=config.condition)
     return result

@@ -37,7 +37,44 @@ class ProtocolError(SimulationError):
 
 
 class ConvergenceError(SimulationError):
-    """A protocol failed to terminate within its proven round bound."""
+    """A protocol failed to terminate within its proven round bound.
+
+    The round driver annotates instances with ``rounds_limit`` (the
+    limit that fired), ``finished_participants`` and
+    ``pending_messages`` so callers can report *how* a protocol stalled
+    without parsing the message.
+    """
+
+    rounds_limit: int = 0
+    finished_participants: int = 0
+    pending_messages: int = 0
+
+
+class NonTerminationError(SimulationError):
+    """A run under an injected network condition failed to terminate.
+
+    Raised instead of hanging when a fault schedule (node crashes,
+    unbounded message loss) prevents an algorithm from reaching
+    quiescence: either the conditioned engine's global round cap fired,
+    or a protocol-level :class:`ConvergenceError` was converted because
+    a :class:`~repro.conditions.NetworkCondition` was active.  Carries
+    the cap and the costs observed up to the abort so campaign rows can
+    record the partial execution.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        round_cap: "int | None" = None,
+        rounds: "int | None" = None,
+        messages: "int | None" = None,
+        words: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.round_cap = round_cap
+        self.rounds = rounds
+        self.messages = messages
+        self.words = words
 
 
 class FragmentError(ReproError):

@@ -261,6 +261,17 @@ def available_engines() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def unavailable_engines() -> Dict[str, str]:
+    """Engines that exist but cannot run here, mapped to the reason.
+
+    The ``array`` kernel without numpy is the canonical entry; the CLI's
+    ``engines`` subcommand surfaces this mapping so a missing optional
+    dependency is diagnosable without triggering the selection error.
+    """
+    _ensure_builtin_engines()
+    return dict(_UNAVAILABLE)
+
+
 def registered_factory(name: str) -> Optional[EngineFactory]:
     """The factory currently registered under ``name`` (``None`` when absent).
 
@@ -301,6 +312,51 @@ def engine_provider(provider: EngineProvider) -> Iterator[None]:
         _PROVIDERS.pop()
 
 
+def active_provider_count() -> int:
+    """Number of :func:`engine_provider` interceptors currently installed.
+
+    Providers live in process-local state: ``fork``-started workers
+    inherit them, ``spawn``-started workers do not.  The jobs>1
+    scheduler consults this count to fail loudly instead of silently
+    running worker cells without the parent's provider.
+    """
+    return len(_PROVIDERS)
+
+
+#: A wrapper decorating engines :func:`create_engine` hands out:
+#: ``wrapper(engine, graph, bandwidth, engine_name) -> Engine``.
+EngineWrapper = Callable[[Engine, nx.Graph, int, str], Engine]
+
+_WRAPPERS: List[EngineWrapper] = []
+
+
+@contextlib.contextmanager
+def engine_wrapper(wrapper: EngineWrapper) -> Iterator[None]:
+    """Decorate every engine :func:`create_engine` returns in this block.
+
+    Where :func:`engine_provider` *replaces* construction (vending a
+    prepared kernel), a wrapper *decorates* whatever construction
+    produced -- a registry-built kernel or a provider-vended arena lane
+    alike.  This is the seam :mod:`repro.conditions` installs its
+    condition-applying proxy through: algorithms keep calling
+    ``create_engine`` and receive the wrapped engine, so no kernel and
+    no algorithm knows conditions exist.  Wrappers stack (installation
+    order, innermost-installed applied last) and, like providers, are
+    intentionally not thread-safe.
+    """
+    _WRAPPERS.append(wrapper)
+    try:
+        yield
+    finally:
+        _WRAPPERS.pop()
+
+
+def _apply_wrappers(engine_obj: Engine, graph: nx.Graph, bandwidth: int, name: str) -> Engine:
+    for wrapper in _WRAPPERS:
+        engine_obj = wrapper(engine_obj, graph, bandwidth, name)
+    return engine_obj
+
+
 def create_engine(
     graph: nx.Graph,
     bandwidth: int = 1,
@@ -324,7 +380,7 @@ def create_engine(
         for provider in reversed(_PROVIDERS):
             provided = provider(graph, bandwidth, engine)
             if provided is not None:
-                return provided
+                return _apply_wrappers(provided, graph, bandwidth, engine)
     _ensure_builtin_engines()
     try:
         factory = _REGISTRY[engine]
@@ -337,4 +393,7 @@ def create_engine(
         raise ConfigurationError(
             f"unknown engine {engine!r}; available: {', '.join(sorted(_REGISTRY))}"
         ) from None
-    return factory(graph, bandwidth=bandwidth, validate=validate)
+    built = factory(graph, bandwidth=bandwidth, validate=validate)
+    if _WRAPPERS:
+        built = _apply_wrappers(built, graph, bandwidth, engine)
+    return built

@@ -162,7 +162,15 @@ def run_protocol(
     deterministic.
     """
     api = ProtocolApi(network, protocol.name)
-    limit = max_rounds if max_rounds is not None else protocol.max_rounds_hint(network)
+    if max_rounds is not None:
+        limit = max_rounds
+    else:
+        # Condition-applying proxies advertise a round_limit_stretch so
+        # the convergence guard scales with the injected asynchrony
+        # (deferred/retransmitted traffic legitimately needs more
+        # rounds); explicit caller limits are never stretched.
+        stretch = int(getattr(network, "round_limit_stretch", 1) or 1)
+        limit = protocol.max_rounds_hint(network) * max(stretch, 1)
     participants = protocol.participants
     total = len(participants)
     states = [(vertex, network.node(vertex)) for vertex in participants]
@@ -182,11 +190,15 @@ def run_protocol(
         if len(finished) == total and pending_count() == 0:
             break
         if rounds_used >= limit:
-            raise ConvergenceError(
+            error = ConvergenceError(
                 f"protocol {protocol.name!r} did not terminate within {limit} rounds "
                 f"({api.finished_count()}/{len(protocol.participants)} vertices finished, "
                 f"{pending_count()} messages pending)"
             )
+            error.rounds_limit = limit
+            error.finished_participants = api.finished_count()
+            error.pending_messages = pending_count()
+            raise error
         inboxes = deliver_round()
         rounds_used += 1
         get_inbox = inboxes.get

@@ -59,23 +59,46 @@ def elkin_message_bound(result: MSTRunResult, constant: float = 12.0) -> float:
     return elkin_message_bound_formula(result.n, result.m, constant=constant)
 
 
-def assert_elkin_bounds(result: MSTRunResult, diameter: Optional[int] = None) -> None:
+def assert_elkin_bounds(
+    result: MSTRunResult,
+    diameter: Optional[int] = None,
+    condition: Optional[object] = None,
+) -> None:
     """Raise :class:`VerificationError` if a run exceeded the theorem bounds.
 
     ``diameter`` is the instance's hop-diameter fallback for results
     that carry no BFS depth (see :func:`elkin_time_bound`).
+
+    ``condition`` enables the *degradation mode*: the theorem bounds
+    assume a perfectly reliable synchronous network, so a run under an
+    injected :class:`~repro.conditions.NetworkCondition` is audited
+    against the condition-stretched bounds instead -- rounds scaled by
+    ``condition.time_stretch()`` (deferred and retransmitted traffic
+    legitimately extends the schedule) and messages by
+    ``condition.message_stretch()`` (each loss adds at most
+    ``retransmit`` link-layer re-sends per message).  Without this the
+    checks would flag bound "violations" that are artifacts of the
+    fault model rather than of the algorithm.
     """
-    time_bound = elkin_time_bound(result, diameter=diameter)
+    time_stretch = message_stretch = 1.0
+    if condition is not None:
+        time_stretch = condition.time_stretch()
+        message_stretch = condition.message_stretch()
+    time_bound = elkin_time_bound(result, diameter=diameter) * time_stretch
     if result.rounds > time_bound:
         raise VerificationError(
             f"round count {result.rounds} exceeds the Theorem 3.1/3.2 bound {time_bound:.0f} "
-            f"(n={result.n}, bfs_depth={result.details.get('bfs_depth')}, b={result.bandwidth})"
+            f"(n={result.n}, bfs_depth={result.details.get('bfs_depth')}, b={result.bandwidth}"
+            + (f", time_stretch={time_stretch:g}" if condition is not None else "")
+            + ")"
         )
-    message_bound = elkin_message_bound(result)
+    message_bound = elkin_message_bound(result) * message_stretch
     if result.messages > message_bound:
         raise VerificationError(
             f"message count {result.messages} exceeds the Theorem 3.1/3.2 bound "
-            f"{message_bound:.0f} (n={result.n}, m={result.m})"
+            f"{message_bound:.0f} (n={result.n}, m={result.m}"
+            + (f", message_stretch={message_stretch:g}" if condition is not None else "")
+            + ")"
         )
 
 

@@ -25,11 +25,17 @@ from repro.config import RunConfig
 from repro.core.elkin_mst import compute_mst
 from repro.exceptions import (
     BandwidthExceededError,
+    ConfigurationError,
     SimulationError,
     VerificationError,
 )
 from repro.graphs.generators import GraphSpec, make_graph
-from repro.simulator.engine import create_engine, engine_provider, register_engine
+from repro.simulator.engine import (
+    active_provider_count,
+    create_engine,
+    engine_provider,
+    register_engine,
+)
 from repro.simulator.fast_network import BatchedEngine, FastNetwork
 from repro.verify.mst_checks import MSTOracle
 
@@ -489,6 +495,167 @@ class TestBatchedEngineLanes:
         with engine_provider(lambda g, b, name: None):
             engine = create_engine(graph, engine="fast")
         assert isinstance(engine, FastNetwork)
+
+
+class TestConditionedExecutionEquivalence:
+    """The condition axis joins the byte-identity matrix.
+
+    Network conditions are delivery-side state inside the run, so the
+    executor contract is unchanged: serial, in-process batched and
+    jobs>1 scheduled execution of a conditioned grid -- including cells
+    whose crash schedule ends in a typed non-termination -- produce
+    byte-identical rows and store records.
+    """
+
+    def _conditioned_grid(self) -> Campaign:
+        return Campaign.from_grid(
+            "batched-cond",
+            [
+                graph_spec_for("random_connected", 20),
+                graph_spec_for("grid", 16),
+            ],
+            algorithms=("elkin", "ghs"),
+            engines=("fast",),
+            seeds=(0,),
+            conditions=(None, "lossy", "crash-stop"),
+        )
+
+    def test_rows_byte_identical_across_execution_modes(self, tmp_path):
+        campaign = self._conditioned_grid()
+        assert len(campaign) == 12
+        serial = execute_campaign(
+            campaign, store=RunStore(tmp_path / "serial.jsonl"), batch=False
+        )
+        batched = execute_campaign(
+            campaign, store=RunStore(tmp_path / "batched.jsonl"), batch=True
+        )
+        pooled = execute_campaign(
+            campaign, store=RunStore(tmp_path / "pooled.jsonl"), jobs=2
+        )
+        assert serial.rows == batched.rows == pooled.rows
+        statuses = {row["status"] for row in serial.rows if "status" in row}
+        assert statuses == {"ok", "non-terminated"}
+
+    def test_store_records_and_resume_with_conditions(self, tmp_path):
+        campaign = self._conditioned_grid()
+        store_path = tmp_path / "store.jsonl"
+        first = execute_campaign(campaign, store=RunStore(store_path), batch=False)
+        for kwargs in ({"batch": True}, {"jobs": 2}):
+            resumed = execute_campaign(campaign, store=RunStore(store_path), **kwargs)
+            assert resumed.executed == 0
+            assert resumed.reused == len(campaign)
+            assert resumed.rows == first.rows
+        # Non-terminated records round-trip: the stored synthetic result
+        # keeps the typed outcome.
+        crash_keys = [
+            spec.run_key()
+            for spec in campaign.specs
+            if spec.condition is not None and spec.condition.crash is not None
+        ]
+        store = RunStore(store_path)
+        for key in crash_keys:
+            assert store.get_result(key).details["non_terminated"] is True
+
+
+class TestProviderEdgeCases:
+    """engine_provider under nesting, failure, and the jobs>1 scheduler."""
+
+    def test_nested_providers_innermost_wins(self):
+        graph = make_graph("path", n=4, seed=0)
+        outer_engine = FastNetwork(graph)
+        inner_engine = FastNetwork(graph)
+        consulted = []
+
+        def outer(g, b, name):
+            consulted.append("outer")
+            return outer_engine
+
+        def inner(g, b, name):
+            consulted.append("inner")
+            return inner_engine
+
+        with engine_provider(outer):
+            with engine_provider(inner):
+                assert create_engine(graph, engine="fast") is inner_engine
+                assert consulted == ["inner"]  # outer never reached
+            assert create_engine(graph, engine="fast") is outer_engine
+
+    def test_nested_provider_none_falls_through_to_outer(self):
+        graph = make_graph("path", n=4, seed=0)
+        outer_engine = FastNetwork(graph)
+        with engine_provider(lambda g, b, name: outer_engine):
+            with engine_provider(lambda g, b, name: None):
+                assert create_engine(graph, engine="fast") is outer_engine
+
+    def test_provider_raising_mid_campaign_propagates_and_unwinds(self):
+        campaign = Campaign.from_grid(
+            "provider-raises",
+            [graph_spec_for("random_connected", 16)],
+            algorithms=("elkin",),
+            seeds=(0, 1, 2),
+        )
+        calls = []
+
+        def flaky(graph, bandwidth, name):
+            calls.append(name)
+            if len(calls) >= 2:
+                raise RuntimeError("provider backend went away")
+            return None
+
+        with pytest.raises(RuntimeError, match="went away"):
+            with engine_provider(flaky):
+                execute_campaign(campaign, batch=False)
+        assert len(calls) >= 2
+        # The stack unwound: later runs are provider-free and succeed.
+        assert active_provider_count() == 0
+        report = execute_campaign(campaign, batch=False)
+        assert report.executed == len(campaign)
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="provider inheritance into workers requires fork",
+    )
+    def test_scheduler_workers_see_the_parents_provider(self, tmp_path):
+        # The provider substitutes a bandwidth-4 kernel whenever the
+        # campaign asks for the reference engine at bandwidth 1 -- an
+        # observable change (round counts drop).  Forked workers must
+        # consult the same provider, so the scheduled rows match the
+        # serial rows produced under the provider and differ from the
+        # provider-free baseline.
+        campaign = Campaign.from_grid(
+            "provider-jobs",
+            [
+                graph_spec_for("random_connected", 20),
+                graph_spec_for("random_connected", 24),
+            ],
+            algorithms=("elkin",),
+            engines=("reference",),
+            seeds=(0,),
+        )
+        bare = execute_campaign(campaign, batch=False)
+
+        def provider(graph, bandwidth, name):
+            if name == "reference" and bandwidth == 1:
+                return FastNetwork(graph, bandwidth=4)
+            return None
+
+        with engine_provider(provider):
+            serial = execute_campaign(campaign, batch=False)
+            pooled = execute_campaign(campaign, jobs=2)
+        assert serial.rows == pooled.rows
+        assert [row["rounds"] for row in serial.rows] != [
+            row["rounds"] for row in bare.rows
+        ]
+
+    def test_scheduler_fails_loudly_without_fork(self, monkeypatch):
+        campaign = _sixteen_cell_grid()
+        monkeypatch.setattr(
+            "repro.campaign.scheduler.multiprocessing.get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        with engine_provider(lambda g, b, name: None):
+            with pytest.raises(ConfigurationError, match="cannot fork"):
+                execute_campaign(campaign, jobs=2)
 
 
 class TestMSTOracle:

@@ -150,3 +150,67 @@ class TestSweepCommand:
         assert exit_code == 0
         assert "boruvka_seq" in captured
         assert "verified" in captured
+
+
+class TestEnginesCommand:
+    def test_lists_registered_engines_and_the_default(self, capsys):
+        exit_code = main(["engines"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "reference" in captured and "fast" in captured
+        assert "available" in captured
+        assert "default engine: reference" in captured
+
+    def test_lists_unavailable_engines_with_the_reason(self, capsys):
+        from repro.simulator.engine import (
+            register_engine,
+            register_unavailable_engine,
+            registered_factory,
+        )
+
+        factory = registered_factory("fast")
+        register_unavailable_engine("fast", "simulated outage for the test")
+        try:
+            assert main(["engines"]) == 0
+            captured = capsys.readouterr().out
+            assert "unavailable" in captured
+            assert "simulated outage" in captured
+        finally:
+            register_engine("fast", factory)
+
+
+class TestConditionOption:
+    def test_run_and_sweep_parsers_accept_condition(self):
+        assert build_parser().parse_args(["run"]).condition is None
+        args = build_parser().parse_args(["run", "--condition", "lossy"])
+        assert args.condition == "lossy"
+        args = build_parser().parse_args(["sweep", "--condition", "delay(max=2)"])
+        assert args.condition == "delay(max=2)"
+
+    def test_run_under_a_condition_prints_fault_telemetry(self, capsys):
+        exit_code = main(
+            ["run", "--family", "random_connected", "--n", "20", "--seed", "3",
+             "--engine", "fast", "--condition", "lossy"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "verified" in captured
+        assert "condition lossy:" in captured
+        assert "retransmits" in captured
+
+    def test_sweep_under_a_condition_adds_the_status_columns(self, capsys):
+        exit_code = main(
+            ["sweep", "--families", "random_connected", "--sizes", "20",
+             "--seeds", "0", "--engine", "fast", "--condition", "lossy"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "condition" in captured and "lossy" in captured
+        assert "ok" in captured
+
+    def test_malformed_condition_is_a_configuration_error(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="malformed"):
+            main(["run", "--family", "random_connected", "--n", "20",
+                  "--condition", "delay(3)"])
