@@ -17,6 +17,7 @@ from .bounds import (
     log_star,
 )
 from .fitting import fit_power_law, ratio_series
+from .incremental import MaterializedAnalytics, PowerLawStats
 from .report import (
     BoundViolation,
     CampaignAnalysis,
@@ -46,6 +47,8 @@ __all__ = [
     "log_star",
     "fit_power_law",
     "ratio_series",
+    "MaterializedAnalytics",
+    "PowerLawStats",
     "format_table",
     "BoundViolation",
     "CampaignAnalysis",

@@ -1,0 +1,375 @@
+"""Incremental report materialization: analysis state updated on append.
+
+ROADMAP item 5's second half.  A full :func:`~repro.analysis.report.analyze_rows`
+pass re-derives everything from the raw rows; this module maintains the
+same aggregates *incrementally*, one :meth:`MaterializedAnalytics.add_row`
+per ``record_run`` append:
+
+* per-(family, algorithm) row counts (including conditioned and
+  non-terminated cells);
+* power-law sufficient statistics per (algorithm, metric, x) series --
+  ``count``, ``sum(log x)``, ``sum(log y)``, ``sum(log^2 x)``,
+  ``sum(log x * log y)``, ``sum(log^2 y)`` -- from which the closed-form
+  least-squares fit (exponent, scale, log-space MSE) is recovered
+  without revisiting a single row;
+* the Theorem 3.1/3.2 bound-audit counters (checked / round-skipped /
+  the violation list itself), via the exact per-row audit the full
+  analysis uses.
+
+The columnar store (:class:`~repro.campaign.columnar.ColumnarStore`)
+keeps one of these per store, persists it in its ``meta`` table, and
+exposes it as ``materialized_summary()``;
+:func:`~repro.analysis.report.analyze_store` cross-checks the
+materialized counters against the scan on every report, so the
+incremental state can never silently drift from the ground truth.
+Fits are compared in tests with a float tolerance (the closed form is
+algebraically identical to the lstsq solution but not bit-identical);
+the counters and the violation list must match exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import ReproError
+from .fitting import PowerLawFit
+from .report import (
+    REFERENCE_EXPONENTS,
+    BoundViolation,
+    CampaignAnalysis,
+    ScalingFit,
+    _audit_elkin_row,
+    family_of,
+)
+
+#: One flat run row, as produced by the campaign executor.
+Row = Mapping[str, object]
+
+#: The (metric, x) series fitted per distributed algorithm, in the order
+#: the full analysis emits them.
+SERIES = (("rounds", "n"), ("messages", "m"))
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class PowerLawStats:
+    """Sufficient statistics for one log-log least-squares series.
+
+    Accumulates positive (x, y) pairs; :meth:`fit` recovers the same
+    slope/intercept/MSE the mean-centered closed form in
+    :func:`~repro.analysis.fitting.fit_power_law` produces, in O(1).
+    """
+
+    count: int = 0
+    sum_log_x: float = 0.0
+    sum_log_y: float = 0.0
+    sum_log_xx: float = 0.0
+    sum_log_xy: float = 0.0
+    sum_log_yy: float = 0.0
+    #: Spread tracking: a fit needs >= 2 distinct x values, so only the
+    #: first x and a "saw a different one" flag are kept -- not the
+    #: full distinct set, which would grow with the store.
+    first_x: Optional[float] = None
+    has_spread: bool = False
+
+    def add(self, x: float, y: float) -> None:
+        lx, ly = math.log(x), math.log(y)
+        self.count += 1
+        self.sum_log_x += lx
+        self.sum_log_y += ly
+        self.sum_log_xx += lx * lx
+        self.sum_log_xy += lx * ly
+        self.sum_log_yy += ly * ly
+        if self.first_x is None:
+            self.first_x = x
+        elif x != self.first_x:
+            self.has_spread = True
+
+    def fit(self) -> Optional[PowerLawFit]:
+        """The closed-form fit, or ``None`` without spread in x."""
+        if not self.has_spread:
+            return None
+        n = float(self.count)
+        mean_x = self.sum_log_x / n
+        mean_y = self.sum_log_y / n
+        sxx = self.sum_log_xx - n * mean_x * mean_x
+        sxy = self.sum_log_xy - n * mean_x * mean_y
+        slope = sxy / sxx
+        intercept = mean_y - slope * mean_x
+        # mean((slope*x + intercept - y)^2), expanded over the sums.
+        mse = (
+            self.sum_log_yy
+            + slope * slope * self.sum_log_xx
+            + n * intercept * intercept
+            + 2.0 * slope * intercept * self.sum_log_x
+            - 2.0 * slope * self.sum_log_xy
+            - 2.0 * intercept * self.sum_log_y
+        ) / n
+        return PowerLawFit(exponent=slope, scale=math.exp(intercept), residual=max(mse, 0.0))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum_log_x": self.sum_log_x,
+            "sum_log_y": self.sum_log_y,
+            "sum_log_xx": self.sum_log_xx,
+            "sum_log_xy": self.sum_log_xy,
+            "sum_log_yy": self.sum_log_yy,
+            "first_x": self.first_x,
+            "has_spread": self.has_spread,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "PowerLawStats":
+        return cls(
+            count=int(payload["count"]),
+            sum_log_x=float(payload["sum_log_x"]),
+            sum_log_y=float(payload["sum_log_y"]),
+            sum_log_xx=float(payload["sum_log_xx"]),
+            sum_log_xy=float(payload["sum_log_xy"]),
+            sum_log_yy=float(payload["sum_log_yy"]),
+            first_x=None if payload["first_x"] is None else float(payload["first_x"]),
+            has_spread=bool(payload["has_spread"]),
+        )
+
+
+def _positive_pair(row: Row, x_column: str, y_column: str) -> Optional[Tuple[float, float]]:
+    """Mirror of ``report._positive_series`` for a single row."""
+    x, y = row.get(x_column), row.get(y_column)
+    if isinstance(x, (int, float)) and isinstance(y, (int, float)) and x > 0 and y > 0:
+        return float(x), float(y)
+    return None
+
+
+@dataclass
+class MaterializedAnalytics:
+    """Every aggregate a report summary needs, maintained per append."""
+
+    row_count: int = 0
+    conditioned: int = 0
+    #: (family, algorithm) -> {"rows", "conditioned", "non_terminated"}.
+    groups: Dict[Tuple[str, str], Dict[str, int]] = field(default_factory=dict)
+    #: Clean-row algorithms in first-seen order (fit enumeration order
+    #: is ``sorted``, matching the full analysis).
+    algorithms: List[str] = field(default_factory=list)
+    #: Algorithms with at least one clean row of positive messages --
+    #: the full analysis fits only those (sequential references report
+    #: zero messages and have no scaling law).
+    messages_seen: Dict[str, bool] = field(default_factory=dict)
+    #: (algorithm, metric, x_name) -> sufficient statistics.
+    series: Dict[Tuple[str, str, str], PowerLawStats] = field(default_factory=dict)
+    bound_checked: int = 0
+    bound_skipped: int = 0
+    violations: List[BoundViolation] = field(default_factory=list)
+
+    def add_row(self, row: Row) -> None:
+        """Fold one run row in, mirroring ``analyze_rows`` exactly."""
+        self.row_count += 1
+        algorithm = str(row.get("algorithm", "?"))
+        group = self.groups.setdefault(
+            (family_of(row), algorithm),
+            {"rows": 0, "conditioned": 0, "non_terminated": 0},
+        )
+        group["rows"] += 1
+        if row.get("condition") is not None:
+            self.conditioned += 1
+            group["conditioned"] += 1
+            if str(row.get("status", "ok")) != "ok":
+                group["non_terminated"] += 1
+            return  # conditioned rows are excluded from fits and audit
+        if algorithm not in self.messages_seen:
+            self.algorithms.append(algorithm)
+            self.messages_seen[algorithm] = False
+        if float(row.get("messages", 0) or 0) > 0:
+            self.messages_seen[algorithm] = True
+        for metric, x_name in SERIES:
+            pair = _positive_pair(row, x_name, metric)
+            if pair is not None:
+                stats = self.series.setdefault(
+                    (algorithm, metric, x_name), PowerLawStats()
+                )
+                stats.add(*pair)
+        if algorithm == "elkin":
+            row_violations, round_checked = _audit_elkin_row(row)
+            self.violations.extend(row_violations)
+            self.bound_checked += 1
+            if not round_checked:
+                self.bound_skipped += 1
+
+    @classmethod
+    def from_rows(cls, rows) -> "MaterializedAnalytics":
+        analytics = cls()
+        for row in rows:
+            analytics.add_row(row)
+        return analytics
+
+    # -- derived views ---------------------------------------------------
+
+    def fits(self) -> List[ScalingFit]:
+        """The scaling-fit list the full analysis would produce."""
+        entries: List[ScalingFit] = []
+        for algorithm in sorted(self.algorithms):
+            if not self.messages_seen.get(algorithm):
+                continue
+            for metric, x_name in SERIES:
+                stats = self.series.get((algorithm, metric, x_name), PowerLawStats())
+                reference_exponent, reference = REFERENCE_EXPONENTS.get(
+                    (algorithm, metric), (None, "")
+                )
+                if reference_exponent is not None:
+                    reference = f"<= ~{reference_exponent:g} ({reference})"
+                fit = stats.fit()
+                entries.append(
+                    ScalingFit(
+                        algorithm=algorithm,
+                        metric=metric,
+                        x_name=x_name,
+                        points=stats.count,
+                        fit=fit,
+                        reference=reference,
+                        note=(
+                            ""
+                            if fit is not None
+                            else f"insufficient spread in {x_name} (need >= 2 distinct sizes)"
+                        ),
+                    )
+                )
+        return entries
+
+    def summary(self) -> Dict[str, object]:
+        """The materialized counters and fits as one plain dict."""
+        return {
+            "rows": self.row_count,
+            "conditioned": self.conditioned,
+            "bound_checked": self.bound_checked,
+            "bound_skipped": self.bound_skipped,
+            "bound_violations": len(self.violations),
+            "violations": [
+                {
+                    "graph": violation.graph,
+                    "metric": violation.metric,
+                    "measured": violation.measured,
+                    "bound": violation.bound,
+                }
+                for violation in self.violations
+            ],
+            "groups": {
+                f"{family}/{algorithm}": dict(counts)
+                for (family, algorithm), counts in sorted(self.groups.items())
+            },
+            "fits": [
+                {
+                    "algorithm": entry.algorithm,
+                    "metric": entry.metric,
+                    "x_name": entry.x_name,
+                    "points": entry.points,
+                    "exponent": entry.fit.exponent if entry.fit else None,
+                    "scale": entry.fit.scale if entry.fit else None,
+                    "residual": entry.fit.residual if entry.fit else None,
+                }
+                for entry in self.fits()
+            ],
+        }
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "version": _FORMAT_VERSION,
+            "row_count": self.row_count,
+            "conditioned": self.conditioned,
+            "groups": [
+                [family, algorithm, dict(counts)]
+                for (family, algorithm), counts in self.groups.items()
+            ],
+            "algorithms": list(self.algorithms),
+            "messages_seen": dict(self.messages_seen),
+            "series": [
+                [algorithm, metric, x_name, stats.to_json_dict()]
+                for (algorithm, metric, x_name), stats in self.series.items()
+            ],
+            "bound_checked": self.bound_checked,
+            "bound_skipped": self.bound_skipped,
+            "violations": [
+                [violation.graph, violation.metric, violation.measured, violation.bound]
+                for violation in self.violations
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "MaterializedAnalytics":
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported materialized-analytics version {payload.get('version')!r}"
+            )
+        analytics = cls(
+            row_count=int(payload["row_count"]),
+            conditioned=int(payload["conditioned"]),
+            bound_checked=int(payload["bound_checked"]),
+            bound_skipped=int(payload["bound_skipped"]),
+        )
+        for family, algorithm, counts in payload["groups"]:
+            analytics.groups[(str(family), str(algorithm))] = {
+                key: int(value) for key, value in counts.items()
+            }
+        analytics.algorithms = [str(name) for name in payload["algorithms"]]
+        analytics.messages_seen = {
+            str(name): bool(flag) for name, flag in payload["messages_seen"].items()
+        }
+        for algorithm, metric, x_name, stats in payload["series"]:
+            analytics.series[(str(algorithm), str(metric), str(x_name))] = (
+                PowerLawStats.from_json_dict(stats)
+            )
+        analytics.violations = [
+            BoundViolation(
+                graph=str(graph),
+                metric=str(metric),
+                measured=float(measured),
+                bound=float(bound),
+            )
+            for graph, metric, measured, bound in payload["violations"]
+        ]
+        return analytics
+
+
+def verify_summary(summary: Mapping[str, object], analysis: CampaignAnalysis) -> None:
+    """Assert the materialized counters agree with a full analysis.
+
+    Called by :func:`~repro.analysis.report.analyze_store` on every
+    report over a store that exposes ``materialized_summary()``: the
+    exact-integer aggregates (row counts, audit counters, the violation
+    list) must match the scan or the incremental state has drifted and
+    the report cannot be trusted.  Fits are deliberately not compared
+    here (closed form vs lstsq differ in the last ulps); tests compare
+    them with a tolerance.
+    """
+    mismatches = []
+    expected = {
+        "rows": len(analysis.rows),
+        "conditioned": analysis.conditioned,
+        "bound_checked": analysis.bound_checked,
+        "bound_skipped": analysis.bound_skipped,
+        "bound_violations": analysis.bound_violations,
+    }
+    for name, value in expected.items():
+        if summary.get(name) != value:
+            mismatches.append(f"{name}: materialized={summary.get(name)!r} scan={value!r}")
+    recorded = [
+        (entry["graph"], entry["metric"], entry["measured"], entry["bound"])
+        for entry in summary.get("violations", [])
+    ]
+    scanned = [
+        (violation.graph, violation.metric, violation.measured, violation.bound)
+        for violation in analysis.violations
+    ]
+    if recorded != scanned:
+        mismatches.append(f"violations: materialized={recorded!r} scan={scanned!r}")
+    if mismatches:
+        raise ReproError(
+            "materialized analytics disagree with the row scan ("
+            + "; ".join(mismatches)
+            + "); the store's incremental state has drifted"
+        )

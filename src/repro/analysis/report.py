@@ -287,8 +287,8 @@ def _crossover_rows(rows: Sequence[Row]) -> List[Dict[str, object]]:
     for (graph, bandwidth, _engine, _seed), pair in by_instance.items():
         if "elkin" not in pair or "prs" not in pair:
             continue
-        elkin_messages = float(pair["elkin"]["messages"])
-        prs_messages = float(pair["prs"]["messages"])
+        elkin_messages = float(pair["elkin"].get("messages", 0) or 0)
+        prs_messages = float(pair["prs"].get("messages", 0) or 0)
         head_to_head.append(
             {
                 "graph": graph,
@@ -346,9 +346,31 @@ def analyze_rows(rows: Iterable[Row]) -> CampaignAnalysis:
     return analysis
 
 
-def analyze_store(store: "RunStoreLike") -> CampaignAnalysis:
-    """:func:`analyze_rows` over everything a run store holds."""
-    return analyze_rows(store.iter_rows())
+def analyze_store(store: "RunStoreLike", full_rescan: bool = False) -> CampaignAnalysis:
+    """:func:`analyze_rows` over everything a run store holds.
+
+    The default path consumes ``store.iter_rows()`` -- for the columnar
+    backend that is the materialized ``run_rows`` table, no result
+    payloads touched -- and, when the store also maintains incremental
+    analytics (``materialized_summary()``), cross-checks the
+    materialized audit counters against the scan so drifted incremental
+    state fails loudly instead of mis-reporting.  ``full_rescan=True``
+    is the escape hatch: re-derive every row from the raw record
+    payloads (``iter_rows_full_rescan``) and skip the materialized
+    state entirely; tests assert both paths are byte-identical.
+    """
+    if full_rescan:
+        rescan = getattr(store, "iter_rows_full_rescan", None)
+        if rescan is not None:
+            return analyze_rows(rescan())
+        return analyze_rows(store.iter_rows())
+    analysis = analyze_rows(store.iter_rows())
+    summarize = getattr(store, "materialized_summary", None)
+    if summarize is not None:
+        from .incremental import verify_summary
+
+        verify_summary(summarize(), analysis)
+    return analysis
 
 
 class RunStoreLike:
@@ -497,15 +519,17 @@ def write_report(
     source: Union[RunStoreLike, Iterable[Row]],
     output: Optional[str] = None,
     title: str = "EXPERIMENTS",
+    full_rescan: bool = False,
 ) -> str:
     """Analyze ``source`` and render the markdown report.
 
     ``source`` is a run store (anything with ``iter_rows``) or an
     iterable of rows.  When ``output`` is given the document is also
-    written there.  Returns the rendered markdown.
+    written there.  ``full_rescan`` forwards to :func:`analyze_store`
+    (ignored for plain row iterables).  Returns the rendered markdown.
     """
     if hasattr(source, "iter_rows"):
-        analysis = analyze_store(source)  # type: ignore[arg-type]
+        analysis = analyze_store(source, full_rescan=full_rescan)  # type: ignore[arg-type]
     else:
         analysis = analyze_rows(source)  # type: ignore[arg-type]
     document = render_markdown(analysis, title=title)

@@ -16,9 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
+from pathlib import Path
+
 from ..campaign.executor import CampaignReport, execute_campaign
 from ..campaign.spec import Campaign
-from ..campaign.store import RunStore
+from ..campaign.store import RunStore, open_store
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError
 from .scenario import Scenario
@@ -50,8 +52,12 @@ class Runner:
     """Scenario executor with a persistent store and lifecycle hooks.
 
     Args:
-        store: a :class:`~repro.campaign.store.RunStore`, a path to a
-            JSONL store file, or ``None`` for a private in-memory store.
+        store: a run store instance (any backend -- JSONL
+            :class:`~repro.campaign.store.RunStore` or columnar
+            :class:`~repro.campaign.columnar.ColumnarStore`), a store
+            path (backend auto-detected, see
+            :func:`~repro.campaign.store.open_store`), or ``None`` for
+            a private in-memory store.
         resume: when True (default), scenarios whose content hash is
             already in the store are answered from it without
             re-simulating.
@@ -67,7 +73,10 @@ class Runner:
         hooks: Sequence[object] = (),
         compute_diameter: bool = True,
     ) -> None:
-        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        if store is None or isinstance(store, (str, Path)):
+            self.store = open_store(store)
+        else:
+            self.store = store
         self.resume = resume
         self.hooks: List[object] = list(hooks)
         self.compute_diameter = compute_diameter
@@ -129,7 +138,12 @@ class Runner:
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
-    def report(self, output: Optional[str] = None, title: str = "EXPERIMENTS") -> str:
+    def report(
+        self,
+        output: Optional[str] = None,
+        title: str = "EXPERIMENTS",
+        full_rescan: bool = False,
+    ) -> str:
         """Render the campaign analysis report over this runner's store.
 
         Aggregates every row the store holds -- across all ``run`` /
@@ -141,7 +155,7 @@ class Runner:
         """
         from ..analysis.report import write_report
 
-        return write_report(self.store, output=output, title=title)
+        return write_report(self.store, output=output, title=title, full_rescan=full_rescan)
 
     def stream(self, scenarios: Iterable[Scenario]) -> Iterator[ScenarioOutcome]:
         """Lazily execute scenarios one by one, yielding each outcome.

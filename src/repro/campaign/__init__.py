@@ -13,7 +13,10 @@ engine x seed) cells.  This package turns such sweeps into data:
 * :mod:`repro.campaign.executor` -- serial and ``multiprocessing``
   executors that produce row-for-row identical output;
 * :mod:`repro.campaign.store` -- an append-only JSONL run store keyed by
-  each cell's content hash, with provenance and resume semantics.
+  each cell's content hash, with provenance and resume semantics;
+* :mod:`repro.campaign.columnar` -- the sqlite-backed columnar backend
+  behind the same contract (:func:`open_store` picks by path; see
+  DESIGN.md, Section 15).
 
 Quickstart::
 
@@ -31,21 +34,25 @@ Quickstart::
     print(report.rows)
 """
 
+from .columnar import ColumnarStore
 from .executor import CampaignReport, execute_campaign, run_spec
 from .presets import PRESETS, available_presets, preset_campaign
 from .spec import Campaign, RunSpec, graph_spec_for, inline_graph_spec
-from .store import RunStore
+from .store import RunStore, convert_store, open_store
 
 __all__ = [
     "Campaign",
     "CampaignReport",
+    "ColumnarStore",
     "PRESETS",
     "RunSpec",
     "RunStore",
     "available_presets",
+    "convert_store",
     "execute_campaign",
     "graph_spec_for",
     "inline_graph_spec",
+    "open_store",
     "preset_campaign",
     "run_spec",
 ]

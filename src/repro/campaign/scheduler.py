@@ -47,7 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError, SimulationError
 from .spec import RunSpec, content_hash
-from .store import GraphDescription, RunStore
+from .store import GraphDescription, RunStore, open_store
 
 #: Target number of work units leased per worker over a campaign.
 #: More units per worker means finer-grained load balancing; fewer
@@ -122,8 +122,18 @@ def partition_units(
     return units
 
 
-def _shard_path(shard_root: str, worker_id: int) -> Path:
-    return Path(shard_root) / f"worker-{worker_id:02d}"
+def _shard_path(shard_root: str, worker_id: int, backend: str = "jsonl") -> Path:
+    """Worker-local shard store path; the backend follows the fold target.
+
+    JSONL shards are sharded directories, columnar shards single sqlite
+    files -- keeping each worker on the same backend as the caller's
+    store exercises one code path end to end and keeps the fold a
+    same-backend merge.
+    """
+    name = f"worker-{worker_id:02d}"
+    if backend == "columnar":
+        name += ".sqlite"
+    return Path(shard_root) / name
 
 
 def _transportable(error: BaseException) -> Optional[BaseException]:
@@ -143,6 +153,7 @@ def _worker_main(
     results: "multiprocessing.Queue",
     abort: "multiprocessing.Event",
     shard_root: str,
+    shard_backend: str,
     executor_name: str,
     do_verify: bool,
     compute_diameter: bool,
@@ -151,7 +162,11 @@ def _worker_main(
     """Persistent worker: lease units until the sentinel, commit per lease."""
     from .executor import _BatchRunner, _provenance
 
-    store = RunStore(_shard_path(shard_root, worker_id), durability="batch")
+    store = open_store(
+        _shard_path(shard_root, worker_id, shard_backend),
+        backend=shard_backend,
+        durability="batch",
+    )
     busy = 0.0
     units = cells = 0
     try:
@@ -241,6 +256,7 @@ def run_scheduled(
         tasks.put(None)  # one sentinel per worker, after every unit
 
     shard_root = tempfile.mkdtemp(prefix="repro-campaign-shards-")
+    shard_backend = getattr(store, "backend_name", "jsonl")
     specs_by_index = {index: spec for index, spec, _ in pending}
     fresh: Dict[int, Dict[str, object]] = {}
     described = 0
@@ -259,6 +275,7 @@ def run_scheduled(
                     results,
                     abort,
                     shard_root,
+                    shard_backend,
                     executor_name,
                     do_verify,
                     compute_diameter,
@@ -329,7 +346,7 @@ def run_scheduled(
         # leases -- into the caller's store.  merge_from skips keys the
         # store already holds, so the fold is idempotent.
         for worker_id in range(worker_count):
-            shard = _shard_path(shard_root, worker_id)
+            shard = _shard_path(shard_root, worker_id, shard_backend)
             if shard.exists():
                 store.merge_from(shard)
         shutil.rmtree(shard_root, ignore_errors=True)

@@ -47,10 +47,11 @@ experiment runners use that mode so they stay side-effect free.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError
@@ -84,7 +85,7 @@ def _is_directory_layout(path: Path) -> bool:
         return True
     if path.exists():
         return False
-    return path.suffix not in (".jsonl", ".json", ".ndjson")
+    return path.suffix.lower() not in (".jsonl", ".json", ".ndjson")
 
 
 class RunStore:
@@ -114,7 +115,16 @@ class RunStore:
             ``"batch"`` durability.
         shard_records: records per shard file before the directory
             layout rolls over to a new shard.
+        read_only: open for reading only.  Crash repairs (torn-tail
+            truncation, re-termination newlines) stay in-memory and
+            every write path (:meth:`record_run`, :meth:`flush`,
+            :meth:`compact`, :meth:`merge_from`) raises
+            :class:`~repro.exceptions.ConfigurationError`.  The path
+            must exist.
     """
+
+    #: Backend identifier, mirrored by ``ColumnarStore.backend_name``.
+    backend_name = "jsonl"
 
     def __init__(
         self,
@@ -122,6 +132,7 @@ class RunStore:
         durability: str = "batch",
         batch_size: int = 64,
         shard_records: int = 4096,
+        read_only: bool = False,
     ) -> None:
         if durability not in DURABILITY_LEVELS:
             raise ConfigurationError(
@@ -136,6 +147,12 @@ class RunStore:
         self.durability = durability
         self.batch_size = batch_size
         self.shard_records = shard_records
+        self.read_only = read_only
+        if read_only:
+            if self.path is None:
+                raise ConfigurationError("read_only requires an on-disk store path")
+            if not self.path.exists():
+                raise ConfigurationError(f"no run store at {self.path}")
         self.stats: Dict[str, int] = {
             "appends": 0,
             "commits": 0,
@@ -173,6 +190,7 @@ class RunStore:
         """
         if self.path is None or not self._buffer:
             return
+        self._require_writable()
         start = 0
         while start < len(self._buffer):
             self._rotate_if_needed()
@@ -329,10 +347,11 @@ class RunStore:
                         # half-record and corrupt the line for every
                         # subsequent reader.
                         self.stats["recovered_lines"] += 1
-                        try:
-                            os.truncate(path, line_start)
-                        except OSError:
-                            pass  # read-only store: recovery stays in-memory
+                        if not self.read_only:
+                            try:
+                                os.truncate(path, line_start)
+                            except OSError:
+                                pass  # read-only filesystem: recovery stays in-memory
                         continue
                     raise ConfigurationError(
                         f"{path}:{line_number}: corrupt run-store line ({error})"
@@ -348,17 +367,24 @@ class RunStore:
                     )
                 records += 1
                 self._physical_records += 1
-        if needs_newline:
+        if needs_newline and not self.read_only:
             try:
                 with path.open("a", encoding="utf-8") as handle:
                     handle.write("\n")
             except OSError:
-                pass  # read-only store: the in-memory state is still right
+                pass  # read-only filesystem: the in-memory state is still right
         return records
 
     # -- writing ---------------------------------------------------------
 
+    def _require_writable(self) -> None:
+        if self.read_only:
+            raise ConfigurationError(
+                f"store at {self.path} is opened read_only; writes are not allowed"
+            )
+
     def _append(self, record: Dict[str, object]) -> None:
+        self._require_writable()
         if self.path is None:
             return
         # No sort_keys: records are built in deterministic order, and
@@ -384,8 +410,13 @@ class RunStore:
         return list(self._runs)
 
     def get_row(self, key: str) -> Dict[str, object]:
-        """The flat output row recorded for ``key`` (KeyError if absent)."""
-        return dict(self._runs[key]["row"])
+        """The flat output row recorded for ``key`` (KeyError if absent).
+
+        Deep-copied: mutating the returned row (including nested lists
+        or detail dicts) must never reach the store's own record, or a
+        later :meth:`compact` would persist the corruption.
+        """
+        return copy.deepcopy(self._runs[key]["row"])
 
     def get_result(self, key: str) -> MSTRunResult:
         """The full deserialized result recorded for ``key``."""
@@ -395,7 +426,7 @@ class RunStore:
         return RunSpec.from_json_dict(self._runs[key]["spec"])
 
     def get_provenance(self, key: str) -> Dict[str, object]:
-        return dict(self._runs[key]["provenance"])
+        return copy.deepcopy(self._runs[key]["provenance"])
 
     def record_run(
         self,
@@ -404,30 +435,42 @@ class RunStore:
         result_json: Dict[str, object],
         provenance: Dict[str, object],
     ) -> Dict[str, object]:
-        record: Dict[str, object] = {
-            "kind": "run",
-            "key": spec.run_key(),
-            "spec": spec.to_json_dict(),
-            # Copied: callers may decorate their returned rows with
-            # presentation columns; the store must not see those.
-            "row": dict(row),
-            "result": result_json,
-            "provenance": provenance,
-        }
-        self._runs[str(record["key"])] = record
-        self._append(record)
+        record = make_run_record(spec, row, result_json, provenance)
+        self._insert_run_record(record)
         return record
 
+    def _insert_run_record(self, record: Dict[str, object]) -> None:
+        """Backend hook: adopt one already-built run record (last wins)."""
+        self._runs[str(record["key"])] = record
+        self._append(record)
+
     def iter_rows(self) -> Iterator[Dict[str, object]]:
-        """All recorded rows, in insertion (file) order."""
+        """All recorded rows, in insertion (file) order (deep copies)."""
         for record in self._runs.values():
-            yield dict(record["row"])
+            yield copy.deepcopy(record["row"])
+
+    def iter_run_records(self) -> Iterator[Dict[str, object]]:
+        """Every live run record, in insertion order.
+
+        Backend-agnostic iteration surface used by :func:`merge_stores`.
+        The yielded dicts are the store's own records -- treat them as
+        read-only (use :meth:`get_row` / :meth:`iter_rows` for copies).
+        """
+        yield from self._runs.values()
 
     # -- graph description cache ----------------------------------------
 
     def graph_description(self, key: str) -> Optional[GraphDescription]:
         description = self._graphs.get(key)
-        return dict(description) if description is not None else None
+        return copy.deepcopy(description) if description is not None else None
+
+    def has_graph(self, key: str) -> bool:
+        return key in self._graphs
+
+    def iter_graph_items(self) -> Iterator[Tuple[str, GraphDescription]]:
+        """Every cached graph description, in insertion order."""
+        for key, description in self._graphs.items():
+            yield key, dict(description)
 
     def record_graph(self, key: str, description: GraphDescription) -> None:
         self._graphs[key] = dict(description)
@@ -458,6 +501,7 @@ class RunStore:
         """
         if self.path is None:
             return {"before": 0, "after": 0, "dropped": 0}
+        self._require_writable()
         self.close()
         live = list(self._live_records())
         before = self._physical_records
@@ -501,33 +545,258 @@ class RunStore:
         os.replace(tmp, target)
 
     def merge_from(self, source: Union["RunStore", str, Path]) -> Dict[str, int]:
-        """Fold ``source`` (a store, or a path to one) into this store.
+        """Fold ``source`` (a store of any backend, or a path) into this one.
 
         Records whose key this store already holds are kept as-is, which
         makes merging the same source twice -- or merging stores from
-        parallel CI shards that overlap -- idempotent.  Returns
-        ``{"runs": .., "graphs": .., "skipped": ..}`` counts.
+        parallel CI shards that overlap -- idempotent.  Source paths are
+        opened ``read_only`` (merging must never side-effect the
+        source).  Returns ``{"runs": .., "graphs": .., "skipped": ..}``
+        counts.
         """
-        if not isinstance(source, RunStore):
-            source_path = Path(source)
-            if not source_path.exists():
-                raise ConfigurationError(f"no run store at {source_path}")
-            source = RunStore(source_path)
-        if self.path is not None and source.path == self.path:
-            raise ConfigurationError("cannot merge a store into itself")
-        merged_graphs = merged_runs = skipped = 0
-        for key, description in source._graphs.items():
-            if key in self._graphs:
-                skipped += 1
-                continue
-            self.record_graph(key, description)
-            merged_graphs += 1
-        for key, record in source._runs.items():
-            if key in self._runs:
-                skipped += 1
-                continue
-            self._runs[key] = record
-            self._append(record)
-            merged_runs += 1
+        self._require_writable()
+        return merge_stores(self, source)
+
+    # -- physical record interchange -------------------------------------
+
+    def iter_record_lines(self) -> Iterator[str]:
+        """Every physical record as its exact JSON text, in file order.
+
+        Superseded records are included (conversion preserves the full
+        append history); blank lines and torn tails are skipped, exactly
+        as loading does.  In-memory stores yield their live records.
+        Used by :func:`convert_store` for byte-identical migration.
+        """
+        if self.path is None:
+            for record in self._live_records():
+                yield json.dumps(record)
+            return
         self.flush()
-        return {"runs": merged_runs, "graphs": merged_graphs, "skipped": skipped}
+        for path in self.shard_paths():
+            with path.open("rb") as handle:
+                for raw in handle:
+                    terminated = raw.endswith(b"\n")
+                    stripped = raw.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        json.loads(stripped)
+                    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                        if not terminated:
+                            continue  # torn tail: dropped on load as well
+                        raise ConfigurationError(
+                            f"{path}: corrupt run-store line ({error})"
+                        ) from error
+                    yield stripped.decode("utf-8")
+
+    def append_record_line(self, line: str) -> None:
+        """Append one physical record given as its exact JSON text.
+
+        The text is preserved verbatim (modulo the terminating newline),
+        which is what makes ``store convert`` round trips byte-identical.
+        """
+        self._require_writable()
+        text = line.strip()
+        if not text:
+            return
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"invalid store record line ({error})") from error
+        kind = record.get("kind")
+        if kind == "run":
+            self._runs[str(record["key"])] = record
+        elif kind == "graph":
+            self._graphs[str(record["key"])] = dict(record["description"])
+        else:
+            raise ConfigurationError(f"unknown record kind {kind!r}")
+        if self.path is None:
+            return
+        self._buffer.append(text + "\n")
+        self.stats["appends"] += 1
+        if self.durability == "record" or len(self._buffer) >= self.batch_size:
+            self.flush()
+
+
+# -- backend seam ---------------------------------------------------------
+
+#: Backend names accepted by :func:`open_store` / ``--store-backend``.
+STORE_BACKENDS = ("auto", "jsonl", "columnar")
+
+#: Fresh paths with one of these suffixes select the columnar backend.
+_COLUMNAR_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def make_run_record(
+    spec: RunSpec,
+    row: Dict[str, object],
+    result_json: Dict[str, object],
+    provenance: Dict[str, object],
+) -> Dict[str, object]:
+    """The canonical run-record dict shared by every store backend."""
+    return {
+        "kind": "run",
+        "key": spec.run_key(),
+        "spec": spec.to_json_dict(),
+        # Copied: callers may decorate their returned rows with
+        # presentation columns; the store must not see those.
+        "row": dict(row),
+        "result": result_json,
+        "provenance": provenance,
+    }
+
+
+def _looks_like_sqlite(path: Path) -> bool:
+    try:
+        with path.open("rb") as handle:
+            return handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def detect_backend(path: Union[str, Path]) -> str:
+    """Classify a store path as ``"jsonl"`` or ``"columnar"``.
+
+    Existing paths are classified by what they hold (directories and
+    JSONL files are ``jsonl``; files starting with the SQLite magic are
+    ``columnar``); fresh paths by their suffix (``.sqlite`` /
+    ``.sqlite3`` / ``.db`` select the columnar backend).
+    """
+    path = Path(path)
+    if path.is_dir():
+        return "jsonl"
+    if path.exists():
+        return "columnar" if _looks_like_sqlite(path) else "jsonl"
+    return "columnar" if path.suffix.lower() in _COLUMNAR_SUFFIXES else "jsonl"
+
+
+def open_store(
+    path: Optional[Union[str, Path]] = None,
+    backend: str = "auto",
+    durability: str = "batch",
+    batch_size: int = 64,
+    shard_records: int = 4096,
+    read_only: bool = False,
+):
+    """Open a run store of any backend behind one construction seam.
+
+    ``backend="auto"`` (the default) resolves via :func:`detect_backend`;
+    ``path=None`` is always the in-memory JSONL-backend store.  Every
+    construction site that accepts a user-supplied store path (CLI,
+    :class:`~repro.api.runner.Runner`, scheduler shards) goes through
+    here so the columnar backend is a spelling away everywhere.
+    """
+    if backend not in STORE_BACKENDS:
+        raise ConfigurationError(
+            f"unknown store backend {backend!r}; expected one of "
+            f"{', '.join(STORE_BACKENDS)}"
+        )
+    if backend == "auto":
+        backend = "jsonl" if path is None else detect_backend(path)
+    if backend == "columnar":
+        if path is None:
+            raise ConfigurationError("the columnar backend requires an on-disk path")
+        from .columnar import ColumnarStore
+
+        return ColumnarStore(
+            path, durability=durability, batch_size=batch_size, read_only=read_only
+        )
+    return RunStore(
+        path,
+        durability=durability,
+        batch_size=batch_size,
+        shard_records=shard_records,
+        read_only=read_only,
+    )
+
+
+def _same_store_path(a: Optional[Path], b: Optional[Path]) -> bool:
+    """True when both paths name the same store file/directory.
+
+    Resolved before comparison so relative/absolute/symlinked spellings
+    of one path cannot bypass the self-merge guard.
+    """
+    if a is None or b is None:
+        return False
+    try:
+        return Path(a).resolve() == Path(b).resolve()
+    except OSError:
+        return Path(a) == Path(b)
+
+
+def merge_stores(dest, source) -> Dict[str, int]:
+    """Fold ``source`` into ``dest`` across any backend pairing.
+
+    Both stores only need the backend-agnostic surface
+    (``iter_graph_items`` / ``iter_run_records`` / ``has_run`` /
+    ``has_graph`` / ``_insert_run_record``), so JSONL and columnar
+    stores merge in any direction.  Source paths are opened read-only.
+    """
+    if isinstance(source, (str, Path)):
+        source_path = Path(source)
+        if not source_path.exists():
+            raise ConfigurationError(f"no run store at {source_path}")
+        if _same_store_path(dest.path, source_path):
+            raise ConfigurationError("cannot merge a store into itself")
+        opened = open_store(source_path, read_only=True)
+        try:
+            return merge_stores(dest, opened)
+        finally:
+            opened.close()
+    if source is dest or _same_store_path(dest.path, source.path):
+        raise ConfigurationError("cannot merge a store into itself")
+    merged_graphs = merged_runs = skipped = 0
+    for key, description in source.iter_graph_items():
+        if dest.has_graph(key):
+            skipped += 1
+            continue
+        dest.record_graph(key, description)
+        merged_graphs += 1
+    for record in source.iter_run_records():
+        if dest.has_run(str(record["key"])):
+            skipped += 1
+            continue
+        dest._insert_run_record(record)
+        merged_runs += 1
+    dest.flush()
+    return {"runs": merged_runs, "graphs": merged_graphs, "skipped": skipped}
+
+
+def convert_store(
+    source: Union[str, Path],
+    destination: Union[str, Path],
+    backend: str = "auto",
+    durability: str = "batch",
+    shard_records: int = 4096,
+) -> Dict[str, object]:
+    """Copy a store record-for-record into a fresh store at ``destination``.
+
+    Every physical record's JSON text travels verbatim (superseded
+    records included), so ``JSONL -> columnar -> JSONL`` round trips are
+    byte-identical for single-file stores and byte-identical per record
+    stream for sharded ones.  The destination must not exist; the source
+    is opened read-only.
+    """
+    source_path = Path(source)
+    if not source_path.exists():
+        raise ConfigurationError(f"no run store at {source_path}")
+    dest_path = Path(destination)
+    if dest_path.exists():
+        raise ConfigurationError(f"refusing to convert onto existing path {dest_path}")
+    src = open_store(source_path, read_only=True)
+    try:
+        dest = open_store(
+            dest_path, backend=backend, durability=durability, shard_records=shard_records
+        )
+        try:
+            records = 0
+            for line in src.iter_record_lines():
+                dest.append_record_line(line)
+                records += 1
+        finally:
+            dest.close()
+    finally:
+        src.close()
+    return {"records": records, "backend": dest.backend_name}

@@ -45,13 +45,13 @@ from .analysis.tables import format_table
 from .api import Runner, Scenario
 from .campaign import (
     Campaign,
-    RunStore,
     available_presets,
     execute_campaign,
     graph_spec_for,
+    open_store,
     preset_campaign,
 )
-from .campaign.store import DURABILITY_LEVELS
+from .campaign.store import DURABILITY_LEVELS, STORE_BACKENDS, convert_store
 from .config import RunConfig
 from .exceptions import ConfigurationError
 from .graphs.generators import available_families, make_graph
@@ -210,7 +210,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         metavar="PATH",
-        help="JSONL run store; completed cells are appended with provenance",
+        help="run store; completed cells are appended with provenance "
+        "(JSONL file, sharded directory, or columnar sqlite file)",
+    )
+    campaign_parser.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=STORE_BACKENDS,
+        help="run-store backend for --output: 'auto' (default) picks by "
+        "path -- a .sqlite/.sqlite3/.db suffix or an existing sqlite "
+        "file selects 'columnar', anything else 'jsonl' (see DESIGN.md, "
+        "Section 15)",
     )
     campaign_parser.add_argument(
         "--resume",
@@ -271,7 +281,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(per-family tables, scaling fits, theorem-bound audit)",
     )
     report_parser.add_argument(
-        "--store", required=True, metavar="PATH", help="run store (JSONL file or directory)"
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="run store (JSONL file, sharded directory, or columnar sqlite "
+        "file); opened read-only",
+    )
+    report_parser.add_argument(
+        "--full-rescan",
+        action="store_true",
+        help="re-derive every row from the raw record payloads instead of "
+        "the materialized state (columnar stores; byte-identical output, "
+        "slower -- the escape hatch the E17 benchmark measures against)",
     )
     report_parser.add_argument(
         "--output",
@@ -301,7 +322,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--into", required=True, metavar="DEST", help="destination store (created if missing)"
     )
     merge_parser.add_argument(
-        "sources", nargs="+", metavar="STORE", help="source stores (JSONL files or directories)"
+        "sources",
+        nargs="+",
+        metavar="STORE",
+        help="source stores, any backend (opened read-only)",
+    )
+    convert_parser = store_commands.add_parser(
+        "convert",
+        help="copy a store record-for-record into a new backend "
+        "(JSONL <-> columnar; byte-identical round trips)",
+    )
+    convert_parser.add_argument(
+        "source", metavar="SOURCE", help="store to convert (opened read-only)"
+    )
+    convert_parser.add_argument(
+        "--into", required=True, metavar="DEST", help="destination path (must not exist)"
+    )
+    convert_parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=STORE_BACKENDS,
+        help="destination backend; 'auto' (default) picks by the "
+        "destination path's suffix",
     )
     return parser
 
@@ -326,7 +368,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
     if args.condition is not None:
         campaign = campaign.with_condition(args.condition)
-    store = RunStore(args.output, durability=args.durability) if args.output else None
+    store = (
+        open_store(args.output, backend=args.store_backend, durability=args.durability)
+        if args.output
+        else None
+    )
     report = execute_campaign(
         campaign,
         store=store,
@@ -369,7 +415,10 @@ def _run_report(args: argparse.Namespace) -> int:
     store_path = Path(args.store)
     if not store_path.exists():
         raise ConfigurationError(f"no run store at {store_path}")
-    document = write_report(RunStore(store_path), output=args.output, title=args.title)
+    with open_store(store_path, read_only=True) as store:
+        document = write_report(
+            store, output=args.output, title=args.title, full_rescan=args.full_rescan
+        )
     if args.output:
         print(f"wrote campaign report -> {args.output}")
     else:
@@ -383,14 +432,20 @@ def _run_store_maintenance(args: argparse.Namespace) -> int:
         store_path = Path(args.store)
         if not store_path.exists():
             raise ConfigurationError(f"no run store at {store_path}")
-        with RunStore(store_path) as store:
+        with open_store(store_path) as store:
             stats = store.compact()
         print(
             f"compacted {args.store}: {stats['before']} -> {stats['after']} records "
             f"({stats['dropped']} superseded dropped)"
         )
+    elif args.store_command == "convert":
+        stats = convert_store(args.source, args.into, backend=args.backend)
+        print(
+            f"converted {args.source} -> {args.into} "
+            f"({stats['records']} records, {stats['backend']} backend)"
+        )
     else:
-        with RunStore(args.into) as destination:
+        with open_store(args.into) as destination:
             for source in args.sources:
                 stats = destination.merge_from(source)
                 print(

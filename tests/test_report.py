@@ -323,6 +323,77 @@ class TestReportCLI:
         assert main(["report", "--store", dest]) == 0
 
 
+class TestReportOverShardedStore:
+    def test_report_over_sharded_v2_directory_store(self, tmp_path):
+        """The report pipeline must read the sharded directory layout
+        exactly as it reads a single file."""
+        from repro.analysis.report import analyze_store
+        from repro.campaign import RunStore
+
+        rows = _golden_rows()
+        store = RunStore(tmp_path / "shards", shard_records=8)
+        for index, row in enumerate(rows):
+            store.append_record_line(
+                json.dumps(
+                    {
+                        "kind": "run",
+                        "key": f"k{index:04d}",
+                        "spec": {},
+                        "row": row,
+                        "result": {},
+                        "provenance": {},
+                    }
+                )
+            )
+        store.close()
+        with RunStore(tmp_path / "shards", read_only=True) as reloaded:
+            assert reloaded.is_sharded and len(reloaded.shard_paths()) > 1
+            document = render_markdown(analyze_store(reloaded))
+        assert document == render_markdown(analyze_rows(rows))
+
+
+class TestNonTerminatedRowsMissingMetrics:
+    """``status="non-terminated"`` rows may lack the metric columns a
+    clean row always carries; the analysis must not crash on them."""
+
+    def _crashed_row(self, **extra):
+        row = {
+            "graph": "random_connected(16)",
+            "algorithm": "elkin",
+            "condition": "crash-stop",
+            "status": "non-terminated",
+        }
+        row.update(extra)
+        return row
+
+    def test_analyze_rows_tolerates_missing_metric_columns(self):
+        rows = _golden_rows() + [self._crashed_row()]
+        analysis = analyze_rows(rows)
+        assert analysis.conditioned == 1
+        entry = analysis.degradation[-1]
+        assert entry["status"] == "non-terminated"
+        assert entry["rounds"] is None and entry["messages"] is None
+        assert entry["round_factor"] == "-" and entry["message_factor"] == "-"
+        render_markdown(analysis)  # must not raise
+
+    def test_conditioned_row_without_n_or_m_is_excluded_from_fits(self):
+        rows = _golden_rows()
+        baseline = analyze_rows(rows)
+        with_crash = analyze_rows(rows + [self._crashed_row()])
+        assert with_crash.fits == baseline.fits
+        assert with_crash.violations == baseline.violations
+
+    def test_prs_row_without_messages_does_not_break_crossover(self):
+        rows = _golden_rows() + [
+            {"graph": "grid(9)", "algorithm": "elkin", "n": 9, "m": 12,
+             "rounds": 10, "messages": 50},
+            {"graph": "grid(9)", "algorithm": "prs", "n": 9, "m": 12,
+             "rounds": 12, "status": "ok"},
+        ]
+        analysis = analyze_rows(rows)
+        render_markdown(analysis)  # must not raise
+
+
 def _regenerate() -> None:
     document = render_markdown(analyze_rows(_golden_rows()))
     GOLDEN_REPORT.write_text(document, encoding="utf-8")

@@ -399,3 +399,108 @@ class TestMerge:
     def test_merge_missing_source_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError, match="no run store"):
             RunStore(None).merge_from(tmp_path / "nope.jsonl")
+
+
+class TestStoreContractBugfixes:
+    """Failing-before regressions for the PR 9 store-contract sweep."""
+
+    def _seed(self, path):
+        store = RunStore(path)
+        store.record_graph("g", {"n": 1, "m": 0})
+        store.close()
+
+    def test_self_merge_rejected_through_a_symlink_spelling(self, tmp_path):
+        """Bugfix: the self-merge guard compared unresolved paths, so a
+        symlink (or any alternate spelling) of the store's own file
+        slipped past it and duplicated every record."""
+        path = tmp_path / "store.jsonl"
+        self._seed(path)
+        alias = tmp_path / "alias.jsonl"
+        alias.symlink_to(path)
+        with RunStore(path) as store:
+            with pytest.raises(ConfigurationError, match="into itself"):
+                store.merge_from(alias)
+
+    def test_self_merge_rejected_through_a_relative_spelling(self, tmp_path, monkeypatch):
+        path = tmp_path / "store.jsonl"
+        self._seed(path)
+        monkeypatch.chdir(tmp_path)
+        with RunStore(path) as store:
+            with pytest.raises(ConfigurationError, match="into itself"):
+                store.merge_from("store.jsonl")
+
+    def test_uppercase_jsonl_suffix_is_a_single_file_store(self, tmp_path):
+        """Bugfix: the layout sniff compared suffixes case-sensitively,
+        so ``runs.JSONL`` silently became a sharded directory."""
+        path = tmp_path / "runs.JSONL"
+        with RunStore(path) as store:
+            store.record_graph("g", {"n": 1, "m": 0})
+        assert path.is_file()
+        with RunStore(path) as reloaded:
+            assert not reloaded.is_sharded
+            assert reloaded.graph_keys() == ["g"]
+
+    def test_mutating_returned_structures_cannot_corrupt_the_store(self, tmp_path):
+        """Bugfix: reads returned shallow copies, so mutating a nested
+        value wrote through to the store's live record and a later
+        compact persisted the corruption."""
+        path = tmp_path / "store.jsonl"
+        record = {
+            "kind": "run",
+            "key": "k1",
+            "spec": {},
+            "row": {"graph": "g", "nested": {"xs": [1]}},
+            "result": {},
+            "provenance": {"env": {"host": "a"}},
+        }
+        path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+        store = RunStore(path)
+        store.get_row("k1")["nested"]["xs"].append(99)
+        next(iter(store.iter_rows()))["nested"]["xs"].append(99)
+        store.get_provenance("k1")["env"]["host"] = "b"
+        store.compact()
+        store.close()
+        with RunStore(path) as reloaded:
+            assert reloaded.get_row("k1") == {"graph": "g", "nested": {"xs": [1]}}
+            assert reloaded.get_provenance("k1") == {"env": {"host": "a"}}
+
+    def test_read_only_open_leaves_file_bytes_untouched(self, tmp_path):
+        """Bugfix: merely *opening* a store truncated torn tails and
+        re-terminated files -- report runs mutated their input."""
+        path = tmp_path / "store.jsonl"
+        self._seed(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "gr')  # torn write
+        before = path.read_bytes()
+        reader = RunStore(path, read_only=True)
+        assert reader.stats["recovered_lines"] == 1  # repaired in memory...
+        assert reader.graph_keys() == ["g"]
+        assert path.read_bytes() == before  # ...but not on disk
+        reader.close()
+        assert path.read_bytes() == before
+
+    def test_read_only_keeps_unterminated_parseable_tail_untouched(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self._seed(path)
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        before = path.read_bytes()
+        with RunStore(path, read_only=True) as reader:
+            assert reader.graph_keys() == ["g"]
+        assert path.read_bytes() == before
+
+    def test_read_only_rejects_every_write(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self._seed(path)
+        with RunStore(path, read_only=True) as reader:
+            with pytest.raises(ConfigurationError, match="read_only"):
+                reader.record_graph("h", {"n": 2, "m": 1})
+            with pytest.raises(ConfigurationError, match="read_only"):
+                reader.compact()
+            with pytest.raises(ConfigurationError, match="read_only"):
+                reader.merge_from(tmp_path / "other.jsonl")
+
+    def test_read_only_requires_an_existing_store(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no run store"):
+            RunStore(tmp_path / "missing.jsonl", read_only=True)
+        with pytest.raises(ConfigurationError, match="read_only"):
+            RunStore(None, read_only=True)
