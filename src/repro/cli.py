@@ -37,27 +37,24 @@ from pathlib import Path
 from typing import List, Optional
 
 from .algorithms import available_algorithms
-from .analysis.experiments import (
-    compare_algorithms,
-    sweep_bandwidth,
-)
+from .analysis.experiments import compare_algorithms, sweep_bandwidth
 from .analysis.tables import format_table
 from .api import Runner, Scenario
 from .campaign import (
-    Campaign,
     available_presets,
+    Campaign,
     execute_campaign,
     graph_spec_for,
     open_store,
     preset_campaign,
 )
-from .campaign.store import DURABILITY_LEVELS, STORE_BACKENDS, convert_store
+from .campaign.store import convert_store, DURABILITY_LEVELS, STORE_BACKENDS
 from .config import RunConfig
 from .exceptions import ConfigurationError
 from .graphs.generators import available_families, make_graph
 from .graphs.properties import graph_summary
 from .logging_utils import enable_console_logging
-from .simulator.engine import DEFAULT_ENGINE, available_engines
+from .simulator.engine import available_engines, DEFAULT_ENGINE
 
 #: Families a CLI user can ask for (edge_list specs carry explicit
 #: edges); includes the workload-zoo families from :mod:`repro.workloads`.
@@ -305,6 +302,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--title", default="EXPERIMENTS", help="top-level heading of the document"
     )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="static analysis: CONGEST-locality, determinism and contract "
+        "rules over the source tree (see DESIGN.md, Section 16)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="report format: human-readable text or the JSON artifact shape",
+    )
+    lint_parser.add_argument(
+        "--select",
+        nargs="+",
+        default=None,
+        metavar="RULE-ID",
+        help="run only these rule ids (e.g. DET203 LOC101)",
+    )
+    lint_parser.add_argument(
+        "--ignore",
+        nargs="+",
+        default=None,
+        metavar="RULE-ID",
+        help="skip these rule ids",
+    )
+    lint_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the rendered report to this file",
+    )
+    lint_parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings (with their justifications) in "
+        "the text report",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     store_parser = subparsers.add_parser(
         "store", help="run-store maintenance (compact / merge)"
     )
@@ -426,6 +474,31 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Handle the ``lint`` subcommand (exit 1 on unsuppressed findings)."""
+    from .lint import lint_paths, render_json, render_rule_catalog, render_text
+
+    if args.list_rules:
+        print(render_rule_catalog(), end="")
+        return 0
+
+    def _split(ids: Optional[List[str]]) -> Optional[List[str]]:
+        # Accept both `--select A B` and the flake8-style `--select A,B`.
+        if ids is None:
+            return None
+        return [part for token in ids for part in token.split(",") if part]
+
+    result = lint_paths(args.paths, select=_split(args.select), ignore=_split(args.ignore))
+    if args.output_format == "json":
+        document = render_json(result)
+    else:
+        document = render_text(result, show_suppressed=args.show_suppressed)
+    if args.output:
+        Path(args.output).write_text(document, encoding="utf-8")
+    print(document, end="")
+    return 0 if result.ok else 1
+
+
 def _run_store_maintenance(args: argparse.Namespace) -> int:
     """Handle the ``store compact`` / ``store merge`` subcommands."""
     if args.store_command == "compact":
@@ -469,6 +542,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_engines(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "store":
         return _run_store_maintenance(args)
 

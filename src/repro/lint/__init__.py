@@ -1,0 +1,44 @@
+"""``repro.lint``: model-conformance and determinism static analysis.
+
+An AST-based analyzer enforcing the repo's three load-bearing
+invariants at review time instead of golden-row time:
+
+* **CONGEST locality** (LOC1xx): protocol code touches only the current
+  vertex's state and communicates only through the ProtocolApi;
+* **determinism** (DET2xx): no ambient randomness, wall-clock reads,
+  hash-order iteration, process-local identities, or unsorted JSON in
+  content-hash paths;
+* **contracts** (CON3xx): full Engine ABC surface, costs charged
+  through the shared Metrics helpers, frozen specs never mutated after
+  construction, read-only stores never written.
+
+Run it via ``repro-mst lint [paths] [--format json]``; silence a
+reviewed finding with ``# repro: allow[RULE-ID] justification`` (the
+justification is mandatory, and stale suppressions are themselves
+findings).  DESIGN.md, Section 16 documents the rule catalog and how to
+add rules alongside a new algorithm family.
+"""
+
+from .config import LintConfig
+from .context import FileContext
+from .driver import collect_files, lint_paths, LintResult
+from .findings import Finding, Suppression
+from .registry import all_rules, known_rule_ids, Rule, rule
+from .reporting import render_json, render_rule_catalog, render_text
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "collect_files",
+    "known_rule_ids",
+    "lint_paths",
+    "render_json",
+    "render_rule_catalog",
+    "render_text",
+    "rule",
+]

@@ -1,0 +1,49 @@
+"""Analyzer configuration: which paths count as protocol code.
+
+The locality rules (LOC1xx) only make sense for code that runs *inside*
+the simulated CONGEST model -- the per-vertex protocol implementations.
+Everything else (engines, the campaign layer, analysis) legitimately
+sees the whole graph.  :class:`LintConfig` names the protocol packages
+by glob so the fixture suite can point the same rules at a miniature
+tree under ``tests/lint_fixtures``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple
+
+#: Directories whose code executes inside the simulated model.  These
+#: mirror DESIGN.md's layering: ``core/`` (the paper's algorithm),
+#: ``baselines/`` (competing distributed algorithms) and
+#: ``simulator/primitives/`` (the building-block protocols).
+DEFAULT_PROTOCOL_GLOBS: Tuple[str, ...] = (
+    "*/repro/core/*",
+    "*/repro/baselines/*",
+    "*/repro/simulator/primitives/*",
+)
+
+#: Files the metrics-helper rule (CON302) must not fire in: the module
+#: that *owns* the counters is where the helpers mutate them.
+DEFAULT_METRICS_OWNER_GLOBS: Tuple[str, ...] = ("*/repro/simulator/metrics.py",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Path scoping knobs of one analyzer run."""
+
+    protocol_globs: Tuple[str, ...] = DEFAULT_PROTOCOL_GLOBS
+    metrics_owner_globs: Tuple[str, ...] = DEFAULT_METRICS_OWNER_GLOBS
+
+    def is_protocol_path(self, path: Path) -> bool:
+        return _matches_any(path, self.protocol_globs)
+
+    def is_metrics_owner_path(self, path: Path) -> bool:
+        return _matches_any(path, self.metrics_owner_globs)
+
+
+def _matches_any(path: Path, globs: Tuple[str, ...]) -> bool:
+    text = path.resolve().as_posix()
+    return any(fnmatch.fnmatch(text, pattern) for pattern in globs)

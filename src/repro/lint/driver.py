@@ -1,0 +1,217 @@
+"""The analyzer driver: walk files, run rules, apply suppressions.
+
+:func:`lint_paths` is the one entry point (the CLI's ``lint``
+subcommand and the dogfood gate test both call it).  It walks the given
+paths in sorted order, builds a :class:`~repro.lint.context.FileContext`
+per file, runs every selected rule whose scope matches, silences
+findings covered by ``# repro: allow[RULE-ID] reason`` comments, and
+appends the framework's own suppression-hygiene diagnostics (SUP001
+empty reason, SUP002 unknown rule id, SUP003 stale suppression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .config import LintConfig
+from .context import FileContext
+from .findings import Finding
+from .registry import FRAMEWORK_RULES, known_rule_ids, Rule, select_rules
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths``, deterministically ordered."""
+    files: List[Path] = []
+    for path in paths:
+        if not path.exists():
+            raise ConfigurationError(f"lint path does not exist: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        files.extend(
+            candidate
+            for candidate in path.rglob("*.py")
+            if "__pycache__" not in candidate.parts
+        )
+    unique = {candidate.resolve(): candidate for candidate in files}
+    return [unique[key] for key in sorted(unique, key=lambda item: item.as_posix())]
+
+
+def lint_paths(
+    paths: Iterable[object],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Run the analyzer over ``paths`` and return every finding.
+
+    Args:
+        paths: files or directories to lint.
+        select: run only these rule ids (default: all registered).
+        ignore: skip these rule ids.
+        config: path-scoping knobs (protocol globs etc.).
+        root: base directory findings are displayed relative to.
+
+    Unknown ids in ``select``/``ignore`` raise
+    :class:`~repro.exceptions.ConfigurationError` -- a typo must not
+    silently run (or silence) the wrong rules.
+    """
+    config = config or LintConfig()
+    known = set(known_rule_ids())
+    for label, requested in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted(set(requested or ()) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"{label} names unknown rule ids: {', '.join(unknown)}; "
+                f"known ids: {', '.join(sorted(known))}"
+            )
+    rules: List[Rule] = list(select_rules(select=select, ignore=ignore))
+    filtered_run = select is not None or bool(set(ignore or ()))
+    files = collect_files([Path(path) for path in paths])
+
+    result = LintResult()
+    for file_path in files:
+        result.files_scanned += 1
+        display = _display_path(file_path, root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            context = FileContext(
+                file_path,
+                source,
+                display_path=display,
+                is_protocol_scope=config.is_protocol_path(file_path),
+                is_metrics_owner=config.is_metrics_owner_path(file_path),
+            )
+        except (SyntaxError, UnicodeDecodeError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            result.findings.append(
+                Finding(
+                    file=display,
+                    line=line,
+                    col=1,
+                    rule_id="LNT000",
+                    rule_name="parse-error",
+                    message=f"file does not parse: {error}",
+                )
+            )
+            continue
+
+        file_findings: List[Finding] = []
+        for active_rule in rules:
+            if not active_rule.applies_to(context):
+                continue
+            file_findings.extend(active_rule.checker(context))
+
+        _apply_suppressions(context, file_findings)
+        file_findings.extend(
+            _suppression_diagnostics(context, known, skip_unused=filtered_run)
+        )
+        result.findings.extend(file_findings)
+
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _apply_suppressions(context: FileContext, findings: List[Finding]) -> None:
+    for finding in findings:
+        for suppression in context.suppressions:
+            if suppression.covers(finding.rule_id, finding.line):
+                finding.suppressed = True
+                finding.suppression_reason = suppression.reason
+                suppression.used_ids.append(finding.rule_id)
+                break
+
+
+def _suppression_diagnostics(
+    context: FileContext, known_ids: set, skip_unused: bool
+) -> List[Finding]:
+    """SUP001/SUP002/SUP003 for this file's suppression comments.
+
+    SUP003 (stale suppression) is only emitted on unfiltered runs: under
+    ``--select``/``--ignore`` most rules never executed, so "unused"
+    would be noise.
+    """
+    diagnostics: List[Finding] = []
+
+    def supmake(rule_id: str, line: int, message: str) -> Finding:
+        name, _ = FRAMEWORK_RULES[rule_id]
+        return Finding(
+            file=context.display_path,
+            line=line,
+            col=1,
+            rule_id=rule_id,
+            rule_name=name,
+            message=message,
+        )
+
+    for suppression in context.suppressions:
+        listed = ", ".join(suppression.rule_ids)
+        if not suppression.reason:
+            diagnostics.append(
+                supmake(
+                    "SUP001",
+                    suppression.line,
+                    f"suppression allow[{listed}] has no justification; write "
+                    "why the finding is safe here",
+                )
+            )
+        unknown = sorted(set(suppression.rule_ids) - known_ids)
+        if unknown:
+            diagnostics.append(
+                supmake(
+                    "SUP002",
+                    suppression.line,
+                    f"suppression names unknown rule id(s): {', '.join(unknown)}",
+                )
+            )
+        if (
+            not skip_unused
+            and not unknown
+            and not suppression.used_ids
+        ):
+            diagnostics.append(
+                supmake(
+                    "SUP003",
+                    suppression.line,
+                    f"suppression allow[{listed}] matched no finding; remove "
+                    "it or move it onto the offending line",
+                )
+            )
+    return diagnostics

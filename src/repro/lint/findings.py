@@ -1,0 +1,77 @@
+"""Finding and suppression value objects of the static analyzer.
+
+A :class:`Finding` pins one rule violation to a file/line/column; a
+:class:`Suppression` is one ``# repro: allow[RULE-ID] reason`` comment
+parsed out of a source file.  Both are plain data so the reporters
+(:mod:`repro.lint.reporting`) can render them as text or JSON without
+touching the analysis machinery.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Matches a ``repro: allow[RULE-ID] justification`` comment; the
+#: justification after the closing bracket is mandatory (SUP001).
+SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_\-,\s]+)\]\s*[-:–—]*\s*(.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment.
+
+    Attributes:
+        line: physical line the comment sits on (1-based).
+        target_line: line whose findings it silences (the comment's own
+            line for trailing comments, the next code line for
+            standalone ones).
+        rule_ids: rule identifiers listed inside the brackets.
+        reason: justification text after the bracket (may be empty --
+            the framework then reports SUP001).
+        used_ids: rule ids that actually matched a finding (filled in by
+            the driver; unused suppressions are reported as SUP003).
+    """
+
+    line: int
+    target_line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+    used_ids: List[str] = field(default_factory=list)
+
+    def covers(self, rule_id: str, finding_line: int) -> bool:
+        return finding_line == self.target_line and rule_id in self.rule_ids
+
+
+@dataclass
+class Finding:
+    """One rule violation (or framework diagnostic) at a source location."""
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.file, self.line, self.col, self.rule_id)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.suppressed:
+            payload["reason"] = self.suppression_reason or ""
+        return payload

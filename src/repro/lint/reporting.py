@@ -1,0 +1,65 @@
+"""Text and JSON reporters for analyzer results.
+
+Both renderings are deterministic: findings arrive pre-sorted from the
+driver, and the JSON form is dumped with sorted keys so two runs over
+the same tree are byte-identical (the CI artifact diff-stable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .driver import LintResult
+from .registry import all_rules, FRAMEWORK_RULES
+
+#: Bumped when the JSON shape changes incompatibly.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable report: one ``path:line:col RULE message`` per finding."""
+    lines: List[str] = []
+    for finding in result.unsuppressed:
+        lines.append(
+            f"{finding.file}:{finding.line}:{finding.col}: "
+            f"{finding.rule_id} [{finding.rule_name}] {finding.message}"
+        )
+    if show_suppressed:
+        for finding in result.suppressed:
+            reason = finding.suppression_reason or ""
+            lines.append(
+                f"{finding.file}:{finding.line}:{finding.col}: "
+                f"{finding.rule_id} suppressed ({reason})"
+            )
+    lines.append(
+        f"{len(result.unsuppressed)} finding(s) "
+        f"({len(result.suppressed)} suppressed) in {result.files_scanned} file(s)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload: Dict[str, object] = {
+        "version": JSON_REPORT_VERSION,
+        "files_scanned": result.files_scanned,
+        "findings": [finding.to_json_dict() for finding in result.findings],
+        "summary": {
+            "total": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "unsuppressed": len(result.unsuppressed),
+        },
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def render_rule_catalog() -> str:
+    """The ``lint --list-rules`` table: id, scope, one-line summary."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.scope:>8}]  {rule.name}: {rule.summary}")
+    for rule_id in sorted(FRAMEWORK_RULES):
+        name, summary = FRAMEWORK_RULES[rule_id]
+        lines.append(f"{rule_id}  [framework]  {name}: {summary}")
+    return "\n".join(lines) + "\n"

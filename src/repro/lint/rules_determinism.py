@@ -1,0 +1,307 @@
+"""Determinism rules: byte-identical rows need hazard-free code.
+
+The repo's core guarantee is that every row -- and therefore every
+content hash -- is byte-identical across engines, executors and store
+backends.  These rules reject the classic ways Python code silently
+breaks that: ambient randomness, wall-clock reads, hash-order
+iteration, process-local identities, and unsorted JSON feeding hashes.
+They run over the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set
+
+from .context import FileContext
+from .findings import Finding
+from .registry import rule
+
+#: ``random`` module entry points that are *not* hazards: constructing a
+#: seeded generator is the sanctioned pattern.
+SEEDED_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+#: ``numpy.random`` entry points that are explicitly seeded constructs.
+SEEDED_NUMPY_OK = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+#: Wall-clock reads that leak real time into outputs.  The monotonic
+#: timers (``perf_counter``, ``monotonic``, ``process_time``) stay legal:
+#: they feed wall-clock telemetry, never row contents.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Function names that mark a content-hash path for DET205.
+HASH_PATH_NAME = re.compile(r"hash|digest|fingerprint|canonical", re.IGNORECASE)
+
+
+@rule(
+    "DET201",
+    "unseeded-random-call",
+    "module-level random.* calls draw from ambient, unseeded state",
+)
+def check_unseeded_random(context: FileContext) -> Iterator[Finding]:
+    """Any ``random.X(...)`` / ``numpy.random.X(...)`` off the module singleton.
+
+    Deterministic code constructs ``random.Random(seed)`` (or
+    ``numpy.random.default_rng(seed)``) and threads the instance.
+    """
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = context.qualify(node.func)
+        if not qual:
+            continue
+        if qual.startswith("random.") and qual.count(".") == 1:
+            name = qual.split(".", 1)[1]
+            if name not in SEEDED_RANDOM_OK:
+                yield context.finding(
+                    node,
+                    "DET201",
+                    "unseeded-random-call",
+                    f"call to the module-level '{qual}' draws from ambient "
+                    "global state; construct random.Random(seed) and thread it",
+                )
+        elif qual.startswith("numpy.random.") or qual.startswith("np.random."):
+            name = qual.rsplit(".", 1)[1]
+            if name not in SEEDED_NUMPY_OK:
+                yield context.finding(
+                    node,
+                    "DET201",
+                    "unseeded-random-call",
+                    f"call to '{qual}' uses numpy's ambient global generator; "
+                    "use numpy.random.default_rng(seed)",
+                )
+
+
+@rule(
+    "DET202",
+    "wall-clock-read",
+    "wall-clock reads leak real time into deterministic paths",
+)
+def check_wall_clock(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = context.qualify(node.func)
+        if qual in WALL_CLOCK_CALLS:
+            yield context.finding(
+                node,
+                "DET202",
+                "wall-clock-read",
+                f"'{qual}()' reads the wall clock; rows and hashes must not "
+                "depend on real time (perf_counter is fine for telemetry "
+                "durations)",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# DET203: hash-order iteration
+# ---------------------------------------------------------------------- #
+
+#: Call names producing sets.
+SET_PRODUCERS = frozenset({"set", "frozenset", "normalize_edges"})
+
+#: Wrappers that preserve the unordered hazard instead of fixing it.
+ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate"})
+
+#: Order-insensitive consumers: a comprehension feeding one of these
+#: directly is not a hazard (``sorted(x for x in some_set)`` is the
+#: sanctioned fix, and reductions ignore order entirely).
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "sum", "min", "max", "len", "any", "all", "Counter"}
+)
+
+
+#: Nodes that open a new lexical scope (analyzed recursively with the
+#: enclosing scope's set-typed names inherited, closure-style).
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _local_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every node lexically inside ``scope``, not descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _set_expression_lines(
+    scope: ast.AST, context: FileContext, inherited: Set[str]
+) -> Iterator[Finding]:
+    """Findings for unordered iteration in ``scope``, then nested scopes."""
+    set_names: Set[str] = set(inherited)
+
+    def is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            qual = context.qualify(node.func) or ""
+            if qual.rsplit(".", 1)[-1] in SET_PRODUCERS:
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return is_set_expr(node.func.value) or (
+                    isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in set_names
+                )
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return is_set_expr(node.left) or is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        return False
+
+    # One linear pass records which scope-local names hold sets;
+    # assignment order approximates flow order closely enough for a lint.
+    for node in _local_nodes(scope):
+        if isinstance(node, ast.Assign) and is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    set_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.value is not None and is_set_expr(node.value):
+                set_names.add(node.target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            if is_set_expr(node.value):
+                set_names.add(node.target.id)
+
+    # Comprehensions handed straight to an order-insensitive consumer
+    # (sorted, sum, min, ...) are exempt.
+    exempt: Set[ast.AST] = set()
+    for node in _local_nodes(scope):
+        if isinstance(node, ast.Call):
+            qual = (context.qualify(node.func) or "").rsplit(".", 1)[-1]
+            if qual in ORDER_INSENSITIVE_CALLS:
+                exempt.update(node.args)
+
+    for node in _local_nodes(scope):
+        if node in exempt:
+            continue
+        iterators = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterators.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iterators.extend(generator.iter for generator in node.generators)
+        elif isinstance(node, ast.Call):
+            qual = context.qualify(node.func) or ""
+            if qual in ORDER_SENSITIVE_WRAPPERS and node.args:
+                iterators.append(node.args[0])
+        for iterator in iterators:
+            if is_set_expr(iterator):
+                yield context.finding(
+                    iterator,
+                    "DET203",
+                    "unordered-set-iteration",
+                    "iterating a set in an order-sensitive position: set order "
+                    "follows the process hash seed; wrap the iterable in "
+                    "sorted(...) (order-insensitive reductions like len/sum/"
+                    "min/max are exempt)",
+                )
+
+    # Nested scopes inherit the enclosing set-typed names (closures).
+    for node in _local_nodes(scope):
+        if isinstance(node, _SCOPE_NODES):
+            yield from _set_expression_lines(node, context, set_names)
+
+
+@rule(
+    "DET203",
+    "unordered-set-iteration",
+    "set iteration order is hash-order; order-sensitive consumers need sorted()",
+)
+def check_unordered_iteration(context: FileContext) -> Iterator[Finding]:
+    yield from _set_expression_lines(context.tree, context, set())
+
+
+@rule(
+    "DET204",
+    "id-keyed-container",
+    "id() values are process-local and allocation-order dependent",
+)
+def check_id_keyed(context: FileContext) -> Iterator[Finding]:
+    """Every ``id(...)`` call: its value differs across processes/runs.
+
+    Using ``id()`` as a container key is only safe for identity caches
+    that are never iterated for output; such sites carry an inline
+    suppression with the justification.
+    """
+    for node in ast.walk(context.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and node.func.id not in context.imports
+        ):
+            yield context.finding(
+                node,
+                "DET204",
+                "id-keyed-container",
+                "id() is process-local and allocation-dependent; keying or "
+                "comparing by it is only safe for identity caches that never "
+                "order or emit rows (suppress with justification if so)",
+            )
+
+
+@rule(
+    "DET205",
+    "unsorted-json-in-hash-path",
+    "json.dumps feeding a hash must pass sort_keys=True",
+)
+def check_unsorted_json(context: FileContext) -> Iterator[Finding]:
+    """``json.dumps`` without ``sort_keys=True`` in a content-hash path.
+
+    A path counts as hash-relevant when the enclosing scope references
+    ``hashlib`` or its name mentions hash/digest/fingerprint/canonical.
+    Dict key order is insertion order, so two semantically equal
+    payloads built in different orders hash differently without
+    ``sort_keys``.
+    """
+    scopes: Dict[Optional[ast.AST], bool] = {}
+    for func, _ in context.functions():
+        uses_hashlib = any(
+            (context.qualify(node) or "").startswith("hashlib.")
+            for node in ast.walk(func)
+            if isinstance(node, (ast.Name, ast.Attribute))
+        )
+        scopes[func] = uses_hashlib or bool(HASH_PATH_NAME.search(func.name))
+
+    for func, hash_path in scopes.items():
+        if not hash_path:
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if context.qualify(node.func) != "json.dumps":
+                continue
+            sorted_keys = any(
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            )
+            if not sorted_keys:
+                yield context.finding(
+                    node,
+                    "DET205",
+                    "unsorted-json-in-hash-path",
+                    f"json.dumps in content-hash path '{func.name}' without "
+                    "sort_keys=True: equal payloads built in different "
+                    "insertion orders would hash differently",
+                )
