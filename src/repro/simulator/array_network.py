@@ -802,12 +802,10 @@ class ArrayNetwork(Engine):
             # Pure point-send round: the staged Python lists already hold
             # everything in send order, so the inboxes are built without
             # touching numpy at all (the fast kernel's exact cost shape).
-            metrics.messages += staged
-            metrics.words += sum(self._pt_words)
             if round_kind is False:
-                metrics.messages_by_kind.update(self._pt_kind)
+                metrics.record_bulk(staged, sum(self._pt_words), kinds=self._pt_kind)
             else:
-                metrics.messages_by_kind[round_kind] += staged
+                metrics.record_bulk(staged, sum(self._pt_words), kind=round_kind)
             inboxes: Dict[VertexId, List[FastMessage]] = {}
             tuple_new = tuple.__new__
             for s, r, k, p, w in zip(
@@ -835,17 +833,15 @@ class ArrayNetwork(Engine):
         self._flush_staged()
         fill = self._fill
         self._fill = 0
-        metrics.messages += fill
         if fill <= _EAGER_DELIVERY_LIMIT:
             # Small round: the columns are consumed into message tuples
             # right here, so no snapshot of any buffer is needed.
             words_list = self._col_words[:fill].tolist()
             kinds = self._col_kind[:fill]
-            metrics.words += sum(words_list)
             if round_kind is False:
-                metrics.messages_by_kind.update(kinds)
+                metrics.record_bulk(fill, sum(words_list), kinds=kinds)
             else:
-                metrics.messages_by_kind[round_kind] += fill
+                metrics.record_bulk(fill, sum(words_list), kind=round_kind)
             inboxes: Dict[VertexId, List[FastMessage]] = {}
             tuple_new = tuple.__new__
             for s, r, k, p, w in zip(
@@ -879,11 +875,10 @@ class ArrayNetwork(Engine):
         self._col_words = np.empty(cap, dtype=np.int64)
         self._col_kind = [None] * cap
         self._col_payload = [None] * cap
-        metrics.words += int(words.sum())
         if round_kind is False:
-            metrics.messages_by_kind.update(kinds[:fill])
+            metrics.record_bulk(fill, int(words.sum()), kinds=kinds[:fill])
         else:
-            metrics.messages_by_kind[round_kind] += fill
+            metrics.record_bulk(fill, int(words.sum()), kind=round_kind)
         return _LazyInboxes(senders, recv, kinds, payloads, words, sent_round, vertex_of)
 
     def idle_rounds(self, count: int) -> None:

@@ -332,8 +332,7 @@ class FastNetwork(Engine):
             bucket.clear()
         self._touched = []
 
-        metrics.messages += message_total
-        metrics.words += word_total
+        metrics.record_bulk(message_total, word_total)
         return inboxes
 
     def idle_rounds(self, count: int) -> None:
@@ -492,6 +491,7 @@ class BatchedEngine:
 
     def add_graph(self, graph: nx.Graph, validate: bool = True) -> None:
         """Pack one scenario graph into the arena (idempotent by identity)."""
+        # repro: allow[DET204] arena keyed by live graph identity, never emitted
         if id(graph) in self._pieces:
             return
         if validate:
@@ -510,6 +510,7 @@ class BatchedEngine:
                 flat.append((vertex, neighbor, base + j, index[neighbor]))
             nbr_weight.extend(node.edge_weights[u] for u in node.neighbors)
             indptr.append(base + len(node.neighbors))
+        # repro: allow[DET204] arena keyed by live graph identity, never emitted
         self._pieces[id(graph)] = _ArenaPiece(
             graph=graph,
             order=order,
@@ -543,6 +544,7 @@ class BatchedEngine:
 
     def has_graph(self, graph: nx.Graph) -> bool:
         """True when ``graph`` (by identity) is packed into the arena."""
+        # repro: allow[DET204] arena keyed by live graph identity, never emitted
         return id(graph) in self._pieces
 
     # -- lanes -----------------------------------------------------------
@@ -554,11 +556,13 @@ class BatchedEngine:
         reset on every subsequent vend; callers must not interleave two
         simulations on the same lane.
         """
+        # repro: allow[DET204] arena keyed by live graph identity, never emitted
         piece = self._pieces.get(id(graph))
         if piece is None:
             raise SimulationError(
                 "graph is not part of this batch; pack it with add_graph() first"
             )
+        # repro: allow[DET204] arena keyed by live graph identity, never emitted
         key = (id(graph), bandwidth)
         lane = self._lanes.get(key)
         if lane is None:
@@ -581,11 +585,13 @@ class BatchedEngine:
         Requires numpy; raises
         :class:`~repro.exceptions.ConfigurationError` without it.
         """
+        # repro: allow[DET204] arena keyed by live graph identity, never emitted
         piece = self._pieces.get(id(graph))
         if piece is None:
             raise SimulationError(
                 "graph is not part of this batch; pack it with add_graph() first"
             )
+        # repro: allow[DET204] arena keyed by live graph identity, never emitted
         key = (id(graph), bandwidth)
         lane = self._array_lanes.get(key)
         if lane is None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..types import CostReport
 
@@ -47,6 +48,30 @@ class Metrics:
         self.messages += 1
         self.words += words
         self.messages_by_kind[kind] += 1
+
+    def record_bulk(
+        self,
+        messages: int,
+        words: int,
+        *,
+        kind: str | None = None,
+        kinds: Iterable[str] | Counter | None = None,
+    ) -> None:
+        """Record ``messages`` transmissions totalling ``words`` words at once.
+
+        The batched engines charge a whole delivery round in one call
+        instead of ``messages`` calls to :meth:`record_message`.  The
+        per-kind tally comes either from ``kind`` (all messages share
+        one kind), or ``kinds`` (one kind per message, or a
+        pre-aggregated Counter); both may be omitted when the caller
+        tallies kinds separately.
+        """
+        self.messages += messages
+        self.words += words
+        if kind is not None:
+            self.messages_by_kind[kind] += messages
+        if kinds is not None:
+            self.messages_by_kind.update(kinds)
 
     def checkpoint(self) -> MetricsSnapshot:
         """Return an immutable snapshot of the current counters."""
