@@ -453,7 +453,8 @@ class ColumnarStore:
 
     def _analytics_fingerprint(self) -> str:
         return json.dumps(
-            {"records": self._physical_records, "runs": len(self._run_keys)}
+            {"records": self._physical_records, "runs": len(self._run_keys)},
+            sort_keys=True,
         )
 
     def _mark_analytics_dirty(self) -> None:
