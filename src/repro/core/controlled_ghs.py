@@ -158,7 +158,7 @@ def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
             continue
 
         small_parent: Dict[VertexId, Optional[VertexId]] = {}
-        for fragment_id in small_ids:
+        for fragment_id in sorted(small_ids):
             small_parent.update(forest.fragments[fragment_id].parent)
         small_forest = RootedForest(parent=small_parent)
 
@@ -166,7 +166,7 @@ def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
             network, small_forest, fragment_of, neighbor_fragments
         )
         mwoe: Dict[FragmentId, Candidate] = {}
-        for fragment_id in small_ids:
+        for fragment_id in sorted(small_ids):
             candidate = mwoe_by_root[forest.root_of(fragment_id)]
             if candidate is None:
                 raise FragmentError(
@@ -181,7 +181,7 @@ def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
         forest_broadcast(
             network,
             small_forest,
-            {forest.root_of(fid): mwoe[fid][:3] for fid in small_ids},
+            {forest.root_of(fid): mwoe[fid][:3] for fid in sorted(small_ids)},
         )
         send_over_edges(
             network,
@@ -189,9 +189,11 @@ def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
         )
 
         # Step 3: orient F'_i into the candidate fragment forest.
-        target_of: Dict[FragmentId, FragmentId] = {fid: mwoe[fid][3] for fid in small_ids}
+        target_of: Dict[FragmentId, FragmentId] = {
+            fid: mwoe[fid][3] for fid in sorted(small_ids)
+        }
         candidate_parent: Dict[FragmentId, Optional[FragmentId]] = {}
-        for fid in small_ids:
+        for fid in sorted(small_ids):
             target = target_of[fid]
             if target not in small_ids:
                 candidate_parent[fid] = None
@@ -208,7 +210,7 @@ def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
         # charged as one fragment-level communication step.
         def charge_color_exchange(colors: Dict[FragmentId, int]) -> None:
             root_values = {
-                forest.root_of(fid): colors[fid] for fid in small_ids
+                forest.root_of(fid): colors[fid] for fid in sorted(small_ids)
             }
             cross = []
             for fid in sorted(small_ids):
@@ -221,7 +223,7 @@ def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
 
         coloring = cole_vishkin_coloring(
             candidate_parent,
-            initial_ids={fid: int(fid) for fid in small_ids},
+            initial_ids={fid: int(fid) for fid in sorted(small_ids)},
             on_exchange=charge_color_exchange,
         )
 
@@ -238,7 +240,7 @@ def build_base_forest(network: Engine, k: int) -> ControlledGHSResult:
                 _, u, v, _ = mwoe[fid]
                 gather.append((u, v, fid))
                 notify.append((v, u, parent_fid))
-            root_values = {forest.root_of(fid): step for fid in small_ids}
+            root_values = {forest.root_of(fid): step for fid in sorted(small_ids)}
             _fragment_level_exchange(network, small_forest, root_values, gather)
             _fragment_level_exchange(network, small_forest, root_values, notify)
 

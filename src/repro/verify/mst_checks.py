@@ -46,7 +46,7 @@ def assert_spanning_tree(graph: nx.Graph, edges: Iterable[Edge]) -> None:
         raise VerificationError(
             f"a spanning tree of {n} vertices needs {n - 1} edges, got {len(edge_set)}"
         )
-    for u, v in edge_set:
+    for u, v in sorted(edge_set):
         if not graph.has_edge(u, v):
             raise VerificationError(f"selected edge ({u}, {v}) is not an edge of the graph")
     tree = nx.Graph()

@@ -46,7 +46,7 @@ def planted_mst_edges(graph: nx.Graph) -> Optional[Set[Edge]]:
             f"planted MST of a {n}-vertex graph must have {n - 1} edges, "
             f"got {len(edges)}"
         )
-    for u, v in edges:
+    for u, v in sorted(edges):
         if not graph.has_edge(u, v):
             raise VerificationError(
                 f"planted MST edge ({u}, {v}) is not an edge of the graph"
