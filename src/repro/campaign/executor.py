@@ -38,11 +38,11 @@ from ..analysis.bounds import elkin_message_bound_formula, elkin_time_bound_form
 from ..analysis.experiments import run_single
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError, NonTerminationError
-from ..types import CostReport
 from ..graphs.properties import hop_diameter
 from ..simulator.array_network import ArrayNetwork
 from ..simulator.engine import engine_provider, registered_factory
 from ..simulator.fast_network import BatchedEngine, FastNetwork
+from ..types import CostReport
 
 #: Kernels the batch runner can vend arena lanes for, and the stock
 #: class each name must still resolve to for lanes to be safe (the
@@ -287,10 +287,12 @@ class _BatchRunner:
             if (
                 engine_name not in self._lane_engines
                 or candidate is not graph
+                # repro: allow[DET204] identity guard on a live object, never emitted
                 or id(candidate) in vended
                 or not self._arena.has_graph(candidate)
             ):
                 return None
+            # repro: allow[DET204] identity guard on a live object, never emitted
             vended.add(id(candidate))
             if engine_name == "array":
                 return self._arena.array_lane(candidate, bandwidth)

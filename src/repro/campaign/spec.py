@@ -27,12 +27,7 @@ import networkx as nx
 
 from ..conditions.spec import NetworkCondition, normalize_condition
 from ..exceptions import ConfigurationError
-from ..graphs.generators import (
-    FAMILIES,
-    SHAPE_RULES,
-    GraphSpec,
-    ensure_zoo_families,
-)
+from ..graphs.generators import ensure_zoo_families, FAMILIES, GraphSpec, SHAPE_RULES
 from ..simulator.engine import DEFAULT_ENGINE
 
 
@@ -199,6 +194,7 @@ class RunSpec:
                 cached["strict_bounds"] = True
             if self.condition is not None:
                 cached["condition"] = self.condition.identity()
+            # repro: allow[CON303] memo cache, excluded from eq/hash identity
             object.__setattr__(self, "_identity_cache", cached)
         # Shallow copy: to_json_dict decorates the top level in place.
         return dict(cached)
@@ -208,6 +204,7 @@ class RunSpec:
         key = self.__dict__.get("_run_key_cache")
         if key is None:
             key = content_hash(self._identity())
+            # repro: allow[CON303] memo cache, excluded from eq/hash identity
             object.__setattr__(self, "_run_key_cache", key)
         return key
 
@@ -217,6 +214,7 @@ class RunSpec:
         if key is None:
             spec = self.effective_graph_spec()
             key = content_hash({"family": spec.family, "params": spec.params})
+            # repro: allow[CON303] memo cache, excluded from eq/hash identity
             object.__setattr__(self, "_graph_key_cache", key)
         return key
 
