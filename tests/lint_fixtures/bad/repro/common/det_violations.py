@@ -1,0 +1,34 @@
+"""Seeded determinism violations (DET201-DET205).
+
+One function per rule; the compliant twin is
+``good/repro/common/det_clean.py``.
+"""
+
+import json
+import random
+import time
+
+
+def jitter():
+    return random.random()  # seeded DET201
+
+
+def stamp():
+    return time.time()  # seeded DET202
+
+
+def order_sensitive(values):
+    chosen = {value for value in values if value > 0}
+    out = []
+    for value in chosen:  # seeded DET203
+        out.append(value)
+    return out
+
+
+def identity_cache(obj, cache):
+    cache[id(obj)] = obj  # seeded DET204
+    return cache
+
+
+def payload_fingerprint(payload):
+    return json.dumps(payload)  # seeded DET205

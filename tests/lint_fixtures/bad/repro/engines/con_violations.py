@@ -1,0 +1,32 @@
+"""Seeded contract violations (CON301-CON304).
+
+The engine subclass is missing most of the kernel contract, writes the
+metrics counters directly, and mutates itself after construction; the
+store helper writes through a read-only open.
+"""
+
+from repro.campaign.store import open_store
+from repro.simulator.engine import Engine
+
+
+class HalfEngine(Engine):  # seeded CON301
+    def vertices(self):
+        return []
+
+    def node(self, vertex):
+        return None
+
+    def deliver_round(self):
+        self.metrics.messages += 1  # seeded CON302
+        self.metrics.words += 2  # seeded CON302
+        self.metrics.messages_by_kind["probe"] += 1  # seeded CON302
+        return {}
+
+    def rekey(self, token):
+        object.__setattr__(self, "cached_key", token)  # seeded CON303
+
+
+def summarize(path):
+    store = open_store(path, read_only=True)
+    store.record_run({"status": "oops"})  # seeded CON304
+    return store

@@ -1,0 +1,27 @@
+"""Compliant twin of ``det_violations.py``: seeded, sorted, monotonic."""
+
+import json
+import random
+import time
+
+
+def jitter(seed):
+    return random.Random(seed).random()
+
+
+def stamp():
+    return time.perf_counter()
+
+
+def order_stable(values):
+    chosen = {value for value in values if value > 0}
+    return [value for value in sorted(chosen)]
+
+
+def keyed_cache(key, obj, cache):
+    cache[key] = obj
+    return cache
+
+
+def payload_fingerprint(payload):
+    return json.dumps(payload, sort_keys=True)

@@ -1,0 +1,44 @@
+"""Compliant twin of ``con_violations.py``.
+
+The engine implements the full kernel contract and charges every cost
+through the Metrics helpers; the read-only store open only reads.
+"""
+
+from repro.campaign.store import open_store
+from repro.simulator.engine import Engine
+
+
+class FullEngine(Engine):
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def vertices(self):
+        return []
+
+    def node(self, vertex):
+        return None
+
+    def edge_weight(self, u, v):
+        return 1
+
+    def send(self, sender, receiver, kind, payload):
+        self.metrics.record_message(kind, 1)
+
+    def remaining_capacity(self, sender, receiver):
+        return 1
+
+    def pending_count(self):
+        return 0
+
+    def deliver_round(self):
+        self.metrics.record_bulk(0, 0)
+        return {}
+
+    def idle_rounds(self, count):
+        for _ in range(count):
+            self.metrics.record_round()
+
+
+def summarize(path):
+    store = open_store(path, read_only=True)
+    return len(store)

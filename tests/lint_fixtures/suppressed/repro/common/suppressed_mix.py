@@ -1,0 +1,20 @@
+"""Suppression round-trip fixture.
+
+One justified suppression (clean), one without a reason (SUP001), one
+naming an unknown rule id (SUP002), and one that matches nothing
+(SUP003).
+"""
+
+import random
+
+
+def draw():
+    a = random.random()  # repro: allow[DET201] fixture: reviewed ambient draw
+    b = random.random()  # repro: allow[DET201]
+    return a + b
+
+
+# repro: allow[XYZ999] the rule id does not exist
+def nothing():
+    # repro: allow[DET202] stale: no wall-clock read below
+    return 0
