@@ -25,8 +25,8 @@ import time
 
 from conftest import run_once
 
-from repro.core.elkin_mst import compute_mst
 from repro.config import RunConfig
+from repro.core.elkin_mst import compute_mst
 from repro.graphs import random_connected_graph
 from repro.simulator.engine import create_engine
 

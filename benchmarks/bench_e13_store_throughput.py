@@ -18,7 +18,7 @@ import os
 
 from conftest import run_once
 
-from repro.campaign import Campaign, RunStore, execute_campaign, graph_spec_for, run_spec
+from repro.campaign import Campaign, execute_campaign, graph_spec_for, run_spec, RunStore
 
 #: Hard floor for the batch-vs-record append-throughput ratio.  The 5x
 #: target (the tentpole acceptance bar) holds comfortably on local

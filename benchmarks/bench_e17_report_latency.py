@@ -33,7 +33,7 @@ import time
 from conftest import run_once
 
 from repro.analysis.report import analyze_store, render_markdown
-from repro.campaign import ColumnarStore, RunStore, graph_spec_for, run_spec
+from repro.campaign import ColumnarStore, graph_spec_for, run_spec, RunStore
 from repro.campaign.spec import RunSpec
 
 #: Hard floor for the materialized-report-vs-JSONL-rescan latency ratio.

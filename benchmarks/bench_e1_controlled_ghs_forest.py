@@ -14,7 +14,7 @@ from conftest import engine_name, run_once
 from repro.core.controlled_ghs import build_base_forest
 from repro.graphs import grid_graph, path_graph, random_connected_graph
 from repro.simulator.engine import create_engine
-from repro.verify.forest_checks import ALPHA_CONSTANT, BETA_CONSTANT, assert_alpha_beta_forest
+from repro.verify.forest_checks import ALPHA_CONSTANT, assert_alpha_beta_forest, BETA_CONSTANT
 
 
 def test_e1_forest_shape(benchmark, record):

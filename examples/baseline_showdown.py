@@ -28,7 +28,7 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.tables import format_table
-from repro.campaign import Campaign, RunSpec, execute_campaign
+from repro.campaign import Campaign, execute_campaign, RunSpec
 from repro.graphs import GraphSpec
 
 

@@ -25,7 +25,7 @@ import tempfile
 from pathlib import Path
 
 from repro.analysis.tables import format_table
-from repro.campaign import Campaign, RunStore, execute_campaign, graph_spec_for
+from repro.campaign import Campaign, execute_campaign, graph_spec_for, RunStore
 
 
 def main() -> int:

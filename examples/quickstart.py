@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import RunConfig, compute_mst, random_connected_graph
+from repro import compute_mst, random_connected_graph, RunConfig
 from repro.analysis.bounds import elkin_message_bound_formula, elkin_time_bound_formula
 from repro.analysis.tables import format_table
 from repro.baselines import kruskal_mst

@@ -24,11 +24,11 @@ import sys
 from repro import (
     GraphSpec,
     ProgressReporter,
+    random_connected_graph,
     RunConfig,
     Runner,
     Scenario,
     TelemetryCollector,
-    random_connected_graph,
 )
 from repro.analysis.tables import format_table
 

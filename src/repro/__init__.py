@@ -37,41 +37,41 @@ the paper-versus-measured record.
 __version__ = "1.5.0"
 
 from .algorithms import (
-    AlgorithmInfo,
     algorithm_info,
     algorithm_registry,
+    AlgorithmInfo,
     available_algorithms,
     register_algorithm,
 )
 from .api import (
     ProgressReporter,
-    RunObserver,
     Runner,
+    RunObserver,
     Scenario,
     ScenarioOutcome,
     TelemetryCollector,
 )
+from .campaign import (
+    available_presets,
+    Campaign,
+    CampaignReport,
+    execute_campaign,
+    preset_campaign,
+    RunSpec,
+    RunStore,
+)
 from .config import RunConfig
-from .core.elkin_mst import compute_mst
 from .core.controlled_ghs import build_base_forest
+from .core.elkin_mst import compute_mst
 from .core.results import MSTRunResult
 from .graphs.generators import (
-    GraphSpec,
     available_families,
+    GraphSpec,
     make_graph,
     random_connected_graph,
     register_family,
 )
-from .campaign import (
-    Campaign,
-    CampaignReport,
-    RunSpec,
-    RunStore,
-    available_presets,
-    execute_campaign,
-    preset_campaign,
-)
-from .simulator.engine import Engine, available_engines, create_engine, register_engine
+from .simulator.engine import available_engines, create_engine, Engine, register_engine
 from .simulator.fast_network import BatchedEngine, FastNetwork
 from .simulator.network import SyncNetwork
 from .types import CostReport

@@ -16,25 +16,25 @@ from .bounds import (
     log2_ceil,
     log_star,
 )
-from .fitting import fit_power_law, ratio_series
-from .incremental import MaterializedAnalytics, PowerLawStats
-from .report import (
-    BoundViolation,
-    CampaignAnalysis,
-    ScalingFit,
-    analyze_rows,
-    analyze_store,
-    render_markdown,
-    write_report,
-)
-from .tables import format_table
 from .experiments import (
-    ExperimentRow,
     compare_algorithms,
+    ExperimentRow,
     run_single,
     sweep_bandwidth,
     sweep_graphs,
 )
+from .fitting import fit_power_law, ratio_series
+from .incremental import MaterializedAnalytics, PowerLawStats
+from .report import (
+    analyze_rows,
+    analyze_store,
+    BoundViolation,
+    CampaignAnalysis,
+    render_markdown,
+    ScalingFit,
+    write_report,
+)
+from .tables import format_table
 
 __all__ = [
     "controlled_ghs_message_bound",

@@ -36,12 +36,12 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..exceptions import ReproError
 from .fitting import PowerLawFit
 from .report import (
-    REFERENCE_EXPONENTS,
+    _audit_elkin_row,
     BoundViolation,
     CampaignAnalysis,
-    ScalingFit,
-    _audit_elkin_row,
     family_of,
+    REFERENCE_EXPONENTS,
+    ScalingFit,
 )
 
 #: One flat run row, as produced by the campaign executor.

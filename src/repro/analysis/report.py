@@ -31,7 +31,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..exceptions import ReproError
 from .bounds import elkin_message_bound_formula, elkin_time_bound_formula
-from .fitting import PowerLawFit, fit_power_law
+from .fitting import fit_power_law, PowerLawFit
 from .tables import format_table
 
 #: One flat run row, as produced by the campaign executor.

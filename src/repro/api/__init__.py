@@ -30,9 +30,9 @@ over this facade; see the README's Migration section for the mapping.
 """
 
 from ..algorithms import (
-    AlgorithmInfo,
     algorithm_info,
     algorithm_registry,
+    AlgorithmInfo,
     available_algorithms,
     register_algorithm,
 )

@@ -23,7 +23,7 @@ Resumed cells (already present in the run store) fire no events.
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Optional, Protocol, TextIO, runtime_checkable
+from typing import Dict, List, Optional, Protocol, runtime_checkable, TextIO
 
 from ..campaign.spec import RunSpec
 from ..core.results import MSTRunResult

@@ -14,13 +14,12 @@ facade.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
-
 from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..campaign.executor import CampaignReport, execute_campaign
 from ..campaign.spec import Campaign
-from ..campaign.store import RunStore, open_store
+from ..campaign.store import open_store, RunStore
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError
 from .scenario import Scenario

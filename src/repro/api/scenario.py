@@ -29,8 +29,8 @@ from typing import Dict, Iterable, Optional, Tuple, Union
 import networkx as nx
 
 from ..algorithms import algorithm_info
-from ..campaign.spec import RunSpec, inline_graph_spec
-from ..config import RunConfig, normalize_config
+from ..campaign.spec import inline_graph_spec, RunSpec
+from ..config import normalize_config, RunConfig
 from ..exceptions import ConfigurationError, DisconnectedGraphError
 from ..graphs.generators import FAMILIES, GraphSpec
 from ..simulator.engine import available_engines

@@ -13,7 +13,7 @@ from typing import Dict, Optional, Set, Tuple
 import networkx as nx
 
 from ..exceptions import DisconnectedGraphError, GraphError
-from ..types import Edge, VertexId, normalize_edge
+from ..types import Edge, normalize_edge, VertexId
 from .kruskal import UnionFind
 
 

@@ -21,13 +21,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from ..config import RunConfig, normalize_config
-from ..exceptions import FragmentError
-from ..graphs.properties import validate_weighted_graph
+from ..config import normalize_config, RunConfig
 from ..core.boruvka_merge import merge_fragment_graph
 from ..core.fragments import MSTForest
 from ..core.mwoe import Candidate, candidate_edge, fragment_outgoing_edges
 from ..core.results import MSTRunResult
+from ..exceptions import FragmentError
+from ..graphs.properties import validate_weighted_graph
 from ..simulator.engine import create_engine
 from ..simulator.primitives.broadcast import forest_broadcast
 from ..simulator.primitives.direct import send_over_edges

@@ -19,15 +19,15 @@ from typing import Dict, List, Optional, Set
 
 import networkx as nx
 
-from ..config import RunConfig, normalize_config
-from ..exceptions import FragmentError
-from ..graphs.properties import validate_weighted_graph
+from ..config import normalize_config, RunConfig
 from ..core.controlled_ghs import build_base_forest
 from ..core.results import MSTRunResult
+from ..exceptions import FragmentError
+from ..graphs.properties import validate_weighted_graph
 from ..simulator.engine import create_engine
 from ..simulator.primitives.bfs import build_bfs_tree
 from ..simulator.primitives.neighbor_exchange import neighbor_exchange
-from ..types import CostReport, Edge, FragmentId, VertexId, normalize_edge
+from ..types import CostReport, Edge, FragmentId, normalize_edge, VertexId
 from .kruskal import kruskal_filter
 from .pipeline_mst import CandidateEdge, pipeline_mst_upcast
 

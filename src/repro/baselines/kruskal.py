@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Set, Tuple
 import networkx as nx
 
 from ..exceptions import DisconnectedGraphError
-from ..types import Edge, VertexId, normalize_edge
+from ..types import Edge, normalize_edge, VertexId
 
 
 class UnionFind:

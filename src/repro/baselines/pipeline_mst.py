@@ -22,11 +22,11 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..exceptions import ProtocolError
-from ..simulator.message import Message
 from ..simulator.engine import Engine
+from ..simulator.message import Message
 from ..simulator.node import NodeState
-from ..simulator.protocol import NodeProtocol, ProtocolApi, run_protocol
 from ..simulator.primitives.trees import RootedForest
+from ..simulator.protocol import NodeProtocol, ProtocolApi, run_protocol
 from ..types import FragmentId, VertexId
 from .kruskal import UnionFind
 

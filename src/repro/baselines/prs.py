@@ -23,7 +23,7 @@ from typing import Optional
 
 import networkx as nx
 
-from ..config import RunConfig, normalize_config
+from ..config import normalize_config, RunConfig
 from ..core.elkin_mst import compute_mst
 from ..core.results import MSTRunResult
 from ..types import VertexId

@@ -18,7 +18,7 @@ from typing import Callable, Optional, Set
 
 import networkx as nx
 
-from ..config import RunConfig, normalize_config
+from ..config import normalize_config, RunConfig
 from ..core.results import MSTRunResult
 from ..types import CostReport, Edge
 

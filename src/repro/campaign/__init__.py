@@ -36,9 +36,9 @@ Quickstart::
 
 from .columnar import ColumnarStore
 from .executor import CampaignReport, execute_campaign, run_spec
-from .presets import PRESETS, available_presets, preset_campaign
-from .spec import Campaign, RunSpec, graph_spec_for, inline_graph_spec
-from .store import RunStore, convert_store, open_store
+from .presets import available_presets, preset_campaign, PRESETS
+from .spec import Campaign, graph_spec_for, inline_graph_spec, RunSpec
+from .store import convert_store, open_store, RunStore
 
 __all__ = [
     "Campaign",

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List
 
 from ..exceptions import ConfigurationError
 from ..graphs.generators import GraphSpec
-from .spec import Campaign, RunSpec, graph_spec_for
+from .spec import Campaign, graph_spec_for, RunSpec
 
 
 def _e1_base_forest() -> Campaign:

@@ -46,8 +46,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.results import MSTRunResult
 from ..exceptions import ConfigurationError, SimulationError
-from .spec import RunSpec, content_hash
-from .store import GraphDescription, RunStore, open_store
+from .spec import content_hash, RunSpec
+from .store import GraphDescription, open_store, RunStore
 
 #: Target number of work units leased per worker over a campaign.
 #: More units per worker means finer-grained load balancing; fewer

@@ -10,19 +10,19 @@ kernel is rewritten, and every fault fate is a pure hash of
 byte-identically on every engine and in every executor mode.
 """
 
+from .proxy import condition_scope, ConditionedEngine, ConditionScope
 from .spec import (
-    CONDITION_PRESETS,
     AdversarialModel,
+    available_conditions,
+    CONDITION_PRESETS,
     CrashModel,
     DelayModel,
     LossModel,
     NetworkCondition,
-    available_conditions,
     normalize_condition,
     parse_condition,
     with_name,
 )
-from .proxy import ConditionedEngine, ConditionScope, condition_scope
 
 __all__ = [
     "AdversarialModel",

@@ -43,9 +43,9 @@ import hashlib
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..exceptions import NonTerminationError, SimulationError
-from ..types import CostReport, VertexId, normalize_edge
 from ..simulator.engine import Engine, engine_wrapper
 from ..simulator.message import Message
+from ..types import CostReport, normalize_edge, VertexId
 from .spec import NetworkCondition
 
 __all__ = ["ConditionedEngine", "ConditionScope", "condition_scope"]

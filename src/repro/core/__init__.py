@@ -17,12 +17,12 @@ Modules:
 * :mod:`repro.core.parameters` -- the paper's parameter choices (``k``).
 """
 
-from .fragments import Fragment, MSTForest
-from .cole_vishkin import cole_vishkin_coloring, validate_coloring
-from .maximal_matching import maximal_matching_from_coloring
-from .controlled_ghs import ControlledGHSResult, build_base_forest
 from .boruvka_merge import FragmentGraphMerge, merge_fragment_graph
-from .elkin_mst import ElkinMSTResult, compute_mst
+from .cole_vishkin import cole_vishkin_coloring, validate_coloring
+from .controlled_ghs import build_base_forest, ControlledGHSResult
+from .elkin_mst import compute_mst, ElkinMSTResult
+from .fragments import Fragment, MSTForest
+from .maximal_matching import maximal_matching_from_coloring
 from .parameters import choose_base_forest_parameter
 
 __all__ = [

@@ -32,7 +32,7 @@ from typing import Dict, Optional, Set
 
 import networkx as nx
 
-from ..config import RunConfig, normalize_config
+from ..config import normalize_config, RunConfig
 from ..exceptions import FragmentError
 from ..graphs.properties import validate_weighted_graph
 from ..simulator.engine import create_engine

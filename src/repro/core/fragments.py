@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import FragmentError
 from ..simulator.primitives.trees import RootedForest
-from ..types import Edge, FragmentId, VertexId, normalize_edge
+from ..types import Edge, FragmentId, normalize_edge, VertexId
 
 
 @dataclass

@@ -22,7 +22,7 @@ from typing import Dict, Optional, Tuple
 from ..simulator.engine import Engine
 from ..simulator.primitives.convergecast import forest_convergecast
 from ..simulator.primitives.trees import RootedForest
-from ..types import FragmentId, VertexId, normalize_edge
+from ..types import FragmentId, normalize_edge, VertexId
 
 #: A candidate outgoing edge: (weight, u, v, group of v).  Tuples compare
 #: lexicographically, and weights are unique, so ``min`` picks the MWOE

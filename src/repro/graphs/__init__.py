@@ -8,15 +8,16 @@ matching the paper's (standard, w.l.o.g.) uniqueness assumption.
 """
 
 from .generators import (
-    GraphSpec,
     barbell_graph,
     caterpillar_graph,
     complete_graph,
     cycle_graph,
     edge_list_graph,
+    GraphSpec,
     grid_graph,
     hub_path_graph,
     lollipop_graph,
+    make_graph,
     path_graph,
     preferential_attachment_graph,
     random_connected_graph,
@@ -26,7 +27,14 @@ from .generators import (
     star_graph,
     torus_graph,
     wheel_graph,
-    make_graph,
+)
+from .io import read_edge_list, write_edge_list
+from .properties import (
+    graph_summary,
+    GraphSummary,
+    hop_diameter,
+    is_connected_weighted,
+    validate_weighted_graph,
 )
 from .weights import (
     assign_random_unique_weights,
@@ -34,14 +42,6 @@ from .weights import (
     ensure_unique_weights,
     weights_are_unique,
 )
-from .properties import (
-    GraphSummary,
-    graph_summary,
-    hop_diameter,
-    is_connected_weighted,
-    validate_weighted_graph,
-)
-from .io import read_edge_list, write_edge_list
 
 __all__ = [
     "GraphSpec",

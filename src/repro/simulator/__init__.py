@@ -27,10 +27,10 @@ composes.
 """
 
 from .engine import (
-    DEFAULT_ENGINE,
-    Engine,
     available_engines,
     create_engine,
+    DEFAULT_ENGINE,
+    Engine,
     engine_provider,
     register_engine,
 )

@@ -40,7 +40,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tupl
 import networkx as nx
 
 from ..exceptions import ConfigurationError
-from ..types import CostReport, VertexId, normalize_edge
+from ..types import CostReport, normalize_edge, VertexId
 from .metrics import Metrics, MetricsSnapshot
 from .node import NodeState
 

@@ -14,14 +14,14 @@ message totals of an algorithm are the sums of what its primitives
 actually did.
 """
 
-from .trees import RootedForest
 from .bfs import BFSTree, build_bfs_tree
 from .broadcast import forest_broadcast
 from .convergecast import ConvergecastResult, forest_convergecast
-from .neighbor_exchange import neighbor_exchange
 from .flooding import flood_value
-from .intervals import IntervalRouting, assign_intervals
+from .intervals import assign_intervals, IntervalRouting
+from .neighbor_exchange import neighbor_exchange
 from .pipeline import pipelined_downcast, pipelined_upcast
+from .trees import RootedForest
 
 __all__ = [
     "RootedForest",

@@ -13,8 +13,8 @@ from typing import Any, Dict, List
 
 from ...exceptions import ProtocolError
 from ...types import VertexId
-from ..message import Message
 from ..engine import Engine
+from ..message import Message
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .trees import RootedForest

@@ -22,8 +22,8 @@ from typing import Dict, List, Tuple
 
 from ...exceptions import ProtocolError
 from ...types import VertexId
-from ..message import Message
 from ..engine import Engine
+from ..message import Message
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .convergecast import forest_convergecast

@@ -29,8 +29,8 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ...exceptions import ProtocolError
 from ...types import VertexId
-from ..message import Message
 from ..engine import Engine
+from ..message import Message
 from ..node import NodeState
 from ..protocol import NodeProtocol, ProtocolApi, run_protocol
 from .intervals import IntervalRouting

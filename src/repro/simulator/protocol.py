@@ -21,8 +21,8 @@ from typing import Any, Iterable, List, Optional, Set, Tuple
 
 from ..exceptions import ConvergenceError, ProtocolError
 from ..types import VertexId
-from .message import Message
 from .engine import Engine
+from .message import Message
 from .node import NodeState
 
 

@@ -7,17 +7,11 @@ structural lemmas of the paper (Lemmas 4.1/4.2), and every cost report
 against the theorem bounds with explicit constants.
 """
 
-from .mst_checks import (
-    MSTOracle,
-    assert_same_mst,
-    assert_spanning_tree,
-    reference_mst,
-    verify_mst_result,
-)
-from .planted_checks import (
-    assert_matches_planted_mst,
-    planted_mst_details,
-    planted_mst_edges,
+from .complexity_checks import (
+    assert_controlled_ghs_bounds,
+    assert_elkin_bounds,
+    elkin_message_bound,
+    elkin_time_bound,
 )
 from .forest_checks import (
     assert_alpha_beta_forest,
@@ -25,12 +19,14 @@ from .forest_checks import (
     assert_fragments_are_mst_subtrees,
     assert_valid_mst_forest,
 )
-from .complexity_checks import (
-    assert_controlled_ghs_bounds,
-    assert_elkin_bounds,
-    elkin_message_bound,
-    elkin_time_bound,
+from .mst_checks import (
+    assert_same_mst,
+    assert_spanning_tree,
+    MSTOracle,
+    reference_mst,
+    verify_mst_result,
 )
+from .planted_checks import assert_matches_planted_mst, planted_mst_details, planted_mst_edges
 
 __all__ = [
     "MSTOracle",

@@ -40,12 +40,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from .exceptions import GraphError
-from .graphs.generators import (
-    GraphSpec,
-    _finalize,
-    random_connected_graph,
-    register_family,
-)
+from .graphs.generators import _finalize, GraphSpec, random_connected_graph, register_family
 from .graphs.weights import ensure_unique_weights
 from .types import normalize_edge
 

@@ -18,15 +18,11 @@ import json
 
 import pytest
 
-from repro.campaign import Campaign, RunStore, execute_campaign
+from repro.campaign import Campaign, execute_campaign, RunStore
 from repro.campaign.spec import graph_spec_for
 from repro.config import RunConfig
 from repro.core.elkin_mst import compute_mst
-from repro.exceptions import (
-    BandwidthExceededError,
-    ConfigurationError,
-    SimulationError,
-)
+from repro.exceptions import BandwidthExceededError, ConfigurationError, SimulationError
 from repro.graphs import path_graph, random_connected_graph, star_graph
 from repro.graphs.generators import make_graph
 from repro.simulator import array_network as anmod
@@ -37,9 +33,9 @@ from repro.simulator.array_network import (
     layout_cache_info,
 )
 from repro.simulator.engine import (
-    Engine,
     available_engines,
     create_engine,
+    Engine,
     engine_provider,
     register_engine,
 )

@@ -13,16 +13,10 @@ from repro.baselines import (
     prim_mst,
     prs_style_mst,
 )
-from repro.baselines.kruskal import UnionFind, kruskal_filter
+from repro.baselines.kruskal import kruskal_filter, UnionFind
 from repro.config import RunConfig
 from repro.exceptions import DisconnectedGraphError, GraphError
-from repro.graphs import (
-    complete_graph,
-    grid_graph,
-    path_graph,
-    random_connected_graph,
-    star_graph,
-)
+from repro.graphs import complete_graph, grid_graph, path_graph, random_connected_graph, star_graph
 from repro.types import normalize_edges
 from repro.verify.mst_checks import verify_mst_result
 

@@ -18,7 +18,7 @@ import os
 import pytest
 
 from repro.algorithms import run_algorithm
-from repro.campaign import Campaign, RunStore, execute_campaign
+from repro.campaign import Campaign, execute_campaign, RunStore
 from repro.campaign.scheduler import partition_units
 from repro.campaign.spec import graph_spec_for
 from repro.config import RunConfig

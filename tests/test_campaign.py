@@ -15,12 +15,12 @@ import pytest
 
 from repro.analysis.experiments import run_single
 from repro.campaign import (
-    Campaign,
-    RunSpec,
-    RunStore,
     available_presets,
+    Campaign,
     execute_campaign,
     preset_campaign,
+    RunSpec,
+    RunStore,
 )
 from repro.campaign.spec import graph_spec_for, inline_graph_spec
 from repro.core.results import MSTRunResult

@@ -16,20 +16,16 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.fitting import fit_power_law
-from repro.analysis.incremental import (
-    MaterializedAnalytics,
-    PowerLawStats,
-    verify_summary,
-)
+from repro.analysis.incremental import MaterializedAnalytics, PowerLawStats, verify_summary
 from repro.analysis.report import analyze_rows, analyze_store, render_markdown
 from repro.campaign import (
     Campaign,
     ColumnarStore,
-    RunStore,
     convert_store,
     execute_campaign,
     graph_spec_for,
     open_store,
+    RunStore,
 )
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import detect_backend

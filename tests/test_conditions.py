@@ -16,17 +16,17 @@ import pytest
 from repro.algorithms import run_algorithm
 from repro.analysis.experiments import run_single
 from repro.analysis.report import analyze_rows, render_markdown
-from repro.campaign import Campaign, RunStore, execute_campaign
-from repro.campaign.spec import RunSpec, graph_spec_for
+from repro.campaign import Campaign, execute_campaign, RunStore
+from repro.campaign.spec import graph_spec_for, RunSpec
 from repro.conditions import (
-    CONDITION_PRESETS,
     AdversarialModel,
+    available_conditions,
+    CONDITION_PRESETS,
     ConditionedEngine,
     CrashModel,
     DelayModel,
     LossModel,
     NetworkCondition,
-    available_conditions,
     normalize_condition,
     parse_condition,
     with_name,

@@ -13,12 +13,7 @@ import pytest
 
 from repro.exceptions import BandwidthExceededError, ConfigurationError, SimulationError
 from repro.graphs import path_graph, random_connected_graph
-from repro.simulator.engine import (
-    DEFAULT_ENGINE,
-    Engine,
-    available_engines,
-    create_engine,
-)
+from repro.simulator.engine import available_engines, create_engine, DEFAULT_ENGINE, Engine
 from repro.simulator.fast_network import FastNetwork
 from repro.simulator.network import SyncNetwork
 

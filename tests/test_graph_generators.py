@@ -7,12 +7,12 @@ import pytest
 
 from repro.exceptions import GraphError
 from repro.graphs import (
-    GraphSpec,
     barbell_graph,
     caterpillar_graph,
     complete_graph,
     cycle_graph,
     edge_list_graph,
+    GraphSpec,
     grid_graph,
     hop_diameter,
     lollipop_graph,

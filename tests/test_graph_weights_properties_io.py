@@ -5,6 +5,7 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
+from repro.baselines import kruskal_mst
 from repro.exceptions import DisconnectedGraphError, GraphError, WeightError
 from repro.graphs import (
     assign_random_unique_weights,
@@ -20,7 +21,6 @@ from repro.graphs import (
     weights_are_unique,
     write_edge_list,
 )
-from repro.baselines import kruskal_mst
 
 
 def _unweighted_triangle():

@@ -18,17 +18,17 @@ from __future__ import annotations
 
 import networkx as nx
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro import workloads
 from repro.analysis.experiments import run_single
+from repro.baselines import kruskal_mst
+from repro.config import RunConfig
 from repro.core.cole_vishkin import cole_vishkin_coloring, validate_coloring
 from repro.core.controlled_ghs import build_base_forest
 from repro.core.elkin_mst import compute_mst
 from repro.core.maximal_matching import maximal_matching_from_coloring
-from repro.baselines import kruskal_mst
-from repro.config import RunConfig
 from repro.graphs.generators import available_families
 from repro.graphs.weights import assign_unique_weights
 from repro.simulator.network import SyncNetwork

@@ -7,8 +7,8 @@ import pytest
 from repro.exceptions import ConvergenceError, ProtocolError
 from repro.graphs import path_graph
 from repro.simulator.network import SyncNetwork
-from repro.simulator.protocol import NodeProtocol, run_protocol, run_protocols_sequentially
 from repro.simulator.primitives.trees import RootedForest
+from repro.simulator.protocol import NodeProtocol, run_protocol, run_protocols_sequentially
 
 
 class _RelayProtocol(NodeProtocol):

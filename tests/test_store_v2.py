@@ -12,7 +12,7 @@ import json
 
 import pytest
 
-from repro.campaign import Campaign, RunStore, execute_campaign, graph_spec_for
+from repro.campaign import Campaign, execute_campaign, graph_spec_for, RunStore
 from repro.campaign.store import DURABILITY_LEVELS, MANIFEST_NAME
 from repro.exceptions import ConfigurationError
 

@@ -27,9 +27,14 @@ from repro.analysis.experiments import (
 from repro.analysis.fitting import fit_power_law, ratio_series
 from repro.analysis.tables import format_table
 from repro.core.elkin_mst import compute_mst
+from repro.core.fragments import MSTForest
 from repro.exceptions import ConfigurationError, ReproError, VerificationError
 from repro.graphs import GraphSpec, random_connected_graph
-from repro.verify.complexity_checks import assert_elkin_bounds, elkin_message_bound, elkin_time_bound
+from repro.verify.complexity_checks import (
+    assert_elkin_bounds,
+    elkin_message_bound,
+    elkin_time_bound,
+)
 from repro.verify.forest_checks import assert_alpha_beta_forest, assert_forest_coarsens
 from repro.verify.mst_checks import (
     assert_same_mst,
@@ -37,7 +42,6 @@ from repro.verify.mst_checks import (
     reference_mst,
     verify_mst_result,
 )
-from repro.core.fragments import MSTForest
 
 
 class TestMSTChecks:

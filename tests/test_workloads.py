@@ -19,11 +19,11 @@ from repro.campaign import preset_campaign
 from repro.campaign.spec import graph_spec_for
 from repro.exceptions import GraphError
 from repro.graphs.generators import (
-    FAMILIES,
-    SHAPE_RULES,
     available_families,
+    FAMILIES,
     make_graph,
     register_family,
+    SHAPE_RULES,
 )
 from repro.graphs.weights import weights_are_unique
 from repro.verify.planted_checks import planted_mst_edges
