@@ -30,7 +30,7 @@ import hashlib
 import json
 import re
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..exceptions import ConfigurationError
 
@@ -478,14 +478,20 @@ def _parse_args(model: str, text: str) -> Dict[str, str]:
     return args
 
 
-def _number(model: str, args: Dict[str, str], key: str, cast, default):
+def _number(
+    model: str,
+    args: Dict[str, str],
+    key: str,
+    cast: Callable[[str], object],
+    default: object,
+) -> object:
     if key not in args:
         return default
     try:
         return cast(args.pop(key))
     except ValueError:
         raise ConfigurationError(
-            f"{model} argument {key!r} must be a {cast.__name__}"
+            f"{model} argument {key!r} must be a {getattr(cast, '__name__', 'number')}"
         ) from None
 
 
